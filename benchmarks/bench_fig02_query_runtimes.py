@@ -1,0 +1,46 @@
+"""Figure 2 — total and average runtime of each IC query on SF100.
+
+The paper runs the flat baseline single-core and shows that a handful of
+long-running queries (IC5, IC9, IC14 class) dominate total runtime by
+orders of magnitude.  We regenerate the same per-query profile and assert
+the headline observation: the costliest query takes >=20x the cheapest.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import dataset_for, emit, make_engine, measure_query, params_for, IC_QUERIES
+
+DRAWS = 4
+
+
+def test_fig02_query_runtimes(benchmark):
+    dataset = dataset_for("SF100")
+    engine = make_engine(dataset.store, "GES")
+
+    def sweep():
+        rows = {}
+        for name in IC_QUERIES:
+            params = params_for(dataset, name, DRAWS)
+            mean_seconds, _ = measure_query(engine, name, params)
+            rows[name] = (mean_seconds * DRAWS, mean_seconds)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "",
+        "== Figure 2: IC query runtimes on SF100 (GES flat baseline, 1 core) ==",
+        f"{'query':6} {'total ms':>10} {'avg ms':>10}",
+    ]
+    for name in IC_QUERIES:
+        total, avg = rows[name]
+        lines.append(f"{name:6} {total * 1e3:>10.2f} {avg * 1e3:>10.2f}")
+    averages = [rows[name][1] for name in IC_QUERIES]
+    spread = max(averages) / max(min(averages), 1e-9)
+    lines.append(f"max/min average runtime spread: {spread:.0f}x")
+    emit(lines, archive="fig02_query_runtimes.txt")
+
+    # Paper shape: a few long-running queries dominate by a wide margin.
+    assert spread >= 20

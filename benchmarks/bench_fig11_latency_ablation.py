@@ -1,0 +1,65 @@
+"""Figure 11 — average IC latency for GES / GES_f / GES_f* across scales.
+
+The paper's ablation shows the factorized executor (and fusion on top)
+winning on the long-running, expansion-heavy queries, with gains growing
+with graph size, while short queries see little change ("the optimization
+achieved through factorization alone may be less pronounced" on small
+inputs).  We regenerate the full query x variant x scale grid and assert
+the headline shape on the long-running set.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    IC_QUERIES,
+    VARIANTS,
+    dataset_for,
+    emit,
+    make_engine,
+    measure_query,
+    params_for,
+)
+
+SCALES = ("SF10", "SF30", "SF100", "SF300")
+DRAWS = 3
+#: Queries the paper calls out as the big factorization winners.
+LONG_RUNNING = ("IC1", "IC5")
+
+
+def test_fig11_latency_ablation(benchmark):
+    def sweep():
+        table: dict[tuple[str, str, str], float] = {}
+        for scale in SCALES:
+            dataset = dataset_for(scale)
+            engines = {v: make_engine(dataset.store, v) for v in VARIANTS}
+            for name in IC_QUERIES:
+                params = params_for(dataset, name, DRAWS)
+                for variant, engine in engines.items():
+                    mean_seconds, _ = measure_query(engine, name, params)
+                    table[(scale, name, variant)] = mean_seconds * 1e3
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["", "== Figure 11: average IC latency (ms) per variant =="]
+    for scale in SCALES:
+        lines.append(f"-- {scale} --")
+        lines.append(f"{'query':6}" + "".join(f"{v:>10}" for v in VARIANTS))
+        for name in IC_QUERIES:
+            lines.append(
+                f"{name:6}"
+                + "".join(f"{table[(scale, name, v)]:>10.2f}" for v in VARIANTS)
+            )
+    for scale in ("SF100", "SF300"):
+        for name in LONG_RUNNING:
+            speedup = table[(scale, name, "GES")] / table[(scale, name, "GES_f*")]
+            lines.append(f"{name} on {scale}: GES_f* speedup over GES = {speedup:.2f}x")
+    emit(lines, archive="fig11_latency_ablation.txt")
+
+    # Paper shape: on the larger graphs the fused factorized executor wins
+    # the long-running queries.
+    for scale in ("SF100", "SF300"):
+        for name in LONG_RUNNING:
+            assert table[(scale, name, "GES_f*")] < table[(scale, name, "GES")], (
+                scale, name,
+            )

@@ -1,0 +1,62 @@
+"""Figure 12 — P99 / P99.9 tail latency on SF300.
+
+The paper shows GES_f and GES_f* dramatically cutting the extreme latency
+spikes of the flat executor on the long-running queries (IC5 dropping from
+>2000 ms to <20 ms).  We measure per-draw latency distributions on the
+largest mini scale and assert the tail of the fused variant beats the flat
+baseline on the flagship queries.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import VARIANTS, dataset_for, emit, make_engine, params_for
+from repro.exec.base import ExecStats
+from repro.ldbc import REGISTRY
+
+QUERIES = ("IC1", "IC2", "IC5", "IC6", "IC9", "IC11")
+DRAWS = 12
+
+
+def test_fig12_tail_latency(benchmark):
+    dataset = dataset_for("SF300")
+    engines = {v: make_engine(dataset.store, v) for v in VARIANTS}
+
+    def sweep():
+        table: dict[tuple[str, str], np.ndarray] = {}
+        for name in QUERIES:
+            params_list = params_for(dataset, name, DRAWS)
+            for variant, engine in engines.items():
+                samples = []
+                for params in params_list:
+                    started = time.perf_counter()
+                    REGISTRY[name].fn(engine, params, ExecStats())
+                    samples.append(time.perf_counter() - started)
+                table[(name, variant)] = np.asarray(samples)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "",
+        "== Figure 12: tail latency on SF300 (ms; P99/P99.9 over "
+        f"{DRAWS} parameter draws) ==",
+        f"{'query':6}" + "".join(f"{v + ' p99':>14}{v + ' p99.9':>14}" for v in VARIANTS),
+    ]
+    p99 = {}
+    for name in QUERIES:
+        cells = ""
+        for variant in VARIANTS:
+            samples = table[(name, variant)] * 1e3
+            p99[(name, variant)] = float(np.percentile(samples, 99))
+            cells += f"{np.percentile(samples, 99):>14.2f}{np.percentile(samples, 99.9):>14.2f}"
+        lines.append(f"{name:6}{cells}")
+    emit(lines, archive="fig12_tail_latency.txt")
+
+    # Paper shape: the fused variant tames the tail of the flagship
+    # long-running queries.
+    assert p99[("IC1", "GES_f*")] < p99[("IC1", "GES")]
+    assert p99[("IC5", "GES_f*")] < p99[("IC5", "GES")]

@@ -1,0 +1,57 @@
+"""Figure 13 — throughput vs number of workers (1..64).
+
+The paper scales vCPUs from 1 to 64 and sees near-linear throughput growth
+that tapers on the smaller graphs.  GIL-bound Python cannot scale threads,
+so per DESIGN.md this experiment measures real single-worker service times
+and replays the operation stream through the discrete-event N-server
+simulation of the Runtime component.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, make_engine
+from repro.ldbc import BenchmarkDriver, generate
+
+WORKER_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+SCALES = ("SF10", "SF100")
+OPS = 300
+
+
+def test_fig13_scalability(benchmark):
+    def sweep():
+        table: dict[tuple[str, int], float] = {}
+        for scale in SCALES:
+            dataset = generate(scale, seed=42)
+            engine = make_engine(dataset.store, "GES_f*")
+            report = BenchmarkDriver(engine, dataset, seed=7).run(OPS)
+            for workers in WORKER_COUNTS:
+                table[(scale, workers)] = report.throughput_score(workers)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "",
+        "== Figure 13: GES_f* throughput (ops/s) vs simulated workers ==",
+        f"{'workers':>8}" + "".join(f"{scale:>12}" for scale in SCALES),
+    ]
+    for workers in WORKER_COUNTS:
+        lines.append(
+            f"{workers:>8}" + "".join(f"{table[(scale, workers)]:>12.0f}" for scale in SCALES)
+        )
+    for scale in SCALES:
+        speedup = table[(scale, 64)] / table[(scale, 1)]
+        lines.append(f"{scale}: 64-worker speedup over 1 worker = {speedup:.1f}x")
+    lines.append(
+        "note: single-worker scores are throttled by head-of-line blocking "
+        "behind long queries (the audit is start-delay based), so low "
+        "worker counts scale super-linearly; the paper's taper at high "
+        "counts comes from network/disk limits the simulation omits"
+    )
+    emit(lines, archive="fig13_scalability.txt")
+
+    for scale in SCALES:
+        # Monotone scaling with a substantial multi-worker win.
+        values = [table[(scale, w)] for w in WORKER_COUNTS]
+        assert all(a <= b * 1.05 for a, b in zip(values, values[1:]))
+        assert values[-1] / values[0] >= 8

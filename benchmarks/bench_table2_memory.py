@@ -1,0 +1,72 @@
+"""Table 2 — peak intermediate-result memory per IC query per variant.
+
+The paper's central memory result: the factorized executor cuts the
+intermediate footprint by >90% on the expansion-heavy queries (IC1, IC2,
+IC5, IC6, IC9, IC14-class), while queries whose plans force full
+materialization — cyclic/multi-node patterns (IC3, IC10) and the
+stored-procedure IC13 — see (near-)zero reduction.  We regenerate the full
+table with reduction ratios and assert that split.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    IC_QUERIES,
+    VARIANTS,
+    dataset_for,
+    emit,
+    fmt_bytes,
+    make_engine,
+    measure_query,
+    params_for,
+)
+
+SCALES = ("SF10", "SF100", "SF300")
+DRAWS = 3
+HIGH_REDUCTION = ("IC1", "IC2", "IC5", "IC6", "IC9")
+LOW_REDUCTION = ("IC3", "IC10", "IC13")
+
+
+def test_table2_memory_footprint(benchmark):
+    def sweep():
+        table: dict[tuple[str, str, str], int] = {}
+        for scale in SCALES:
+            dataset = dataset_for(scale)
+            engines = {v: make_engine(dataset.store, v) for v in VARIANTS}
+            for name in IC_QUERIES:
+                params = params_for(dataset, name, DRAWS)
+                for variant, engine in engines.items():
+                    _, peak = measure_query(engine, name, params)
+                    table[(scale, name, variant)] = peak
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["", "== Table 2: peak intermediate bytes and reduction ratio (R.R.) =="]
+    ratios: dict[tuple[str, str], float] = {}
+    for scale in SCALES:
+        lines.append(f"-- {scale} --")
+        lines.append(
+            f"{'query':6}{'GES':>12}{'GES_f':>12}{'GES_f*':>12}{'R.R.':>8}"
+        )
+        for name in IC_QUERIES:
+            flat = table[(scale, name, "GES")]
+            fact = table[(scale, name, "GES_f")]
+            fused = table[(scale, name, "GES_f*")]
+            ratio = 1 - fused / flat if flat else 0.0
+            ratios[(scale, name)] = ratio
+            lines.append(
+                f"{name:6}{fmt_bytes(flat):>12}{fmt_bytes(fact):>12}"
+                f"{fmt_bytes(fused):>12}{ratio * 100:>7.1f}%"
+            )
+    emit(lines, archive="table2_memory.txt")
+
+    # Paper shape on the largest scale: big reductions for the
+    # factorization-friendly queries, ~none where flat fallback is forced.
+    for name in HIGH_REDUCTION:
+        assert ratios[("SF300", name)] >= 0.6, (name, ratios[("SF300", name)])
+    for name in LOW_REDUCTION:
+        assert ratios[("SF300", name)] <= 0.45, (name, ratios[("SF300", name)])
+    # Factorized never does worse than flat on the high-reduction set.
+    for name in HIGH_REDUCTION:
+        assert table[("SF300", name, "GES_f")] <= table[("SF300", name, "GES")]

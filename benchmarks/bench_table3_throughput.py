@@ -1,0 +1,78 @@
+"""Table 3 — overall LDBC throughput of the three GES variants.
+
+The paper reports GES_f at ~4x and GES_f* at ~16-17x the baseline's
+benchmark throughput, driven almost entirely by the collapse of the
+long-running IC latencies.  Pure-Python mini-scale compresses that effect
+(the interpreter's per-operation floor dominates the short operations that
+make up most of the mix — see DESIGN.md), so this bench reports two rows:
+
+* the full-mix TCR throughput score, where the variants land within noise
+  of each other at mini scale (asserted only to stay comparable), and
+* the long-running-IC mean service time, where the factorization win that
+  *produces* the paper's throughput gap is directly visible and asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import dataset_for, emit, make_engine, measure_query, params_for, run_driver_min
+
+SCALES = ("SF10", "SF100")
+OPS = 250
+HEAVY = ("IC1", "IC5")
+VARIANTS = ("GES", "GES_f", "GES_f*")
+
+
+def test_table3_variant_throughput(benchmark):
+    def sweep():
+        scores: dict[tuple[str, str], float] = {}
+        for scale in SCALES:
+            for variant in VARIANTS:
+                report = run_driver_min(scale, variant, OPS)
+                scores[(scale, variant)] = report.throughput_score(workers=1)
+        heavy: dict[str, float] = {}
+        dataset = dataset_for("SF300")
+        for variant in VARIANTS:
+            engine = make_engine(dataset.store, variant)
+            total = 0.0
+            for name in HEAVY:
+                mean_a, _ = measure_query(engine, name, params_for(dataset, name, 3))
+                mean_b, _ = measure_query(engine, name, params_for(dataset, name, 3))
+                total += min(mean_a, mean_b)
+            heavy[variant] = total
+        return scores, heavy
+
+    scores, heavy = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "",
+        "== Table 3: LDBC throughput score (ops/s, 1 worker) per variant ==",
+        f"{'scale':8}{'GES':>10}{'GES_f':>10}{'x':>6}{'GES_f*':>10}{'x':>6}",
+    ]
+    for scale in SCALES:
+        base = scores[(scale, "GES")]
+        fact = scores[(scale, "GES_f")]
+        fused = scores[(scale, "GES_f*")]
+        lines.append(
+            f"{scale:8}{base:>10.0f}{fact:>10.0f}{fact / base:>6.2f}"
+            f"{fused:>10.0f}{fused / base:>6.2f}"
+        )
+    speedup_f = heavy["GES"] / heavy["GES_f"]
+    speedup_fused = heavy["GES"] / heavy["GES_f*"]
+    lines += [
+        f"long-running IC (IC1+IC5) mean service on SF300: "
+        f"GES {heavy['GES'] * 1e3:.1f} ms, GES_f {heavy['GES_f'] * 1e3:.1f} ms "
+        f"({speedup_f:.2f}x), GES_f* {heavy['GES_f*'] * 1e3:.1f} ms ({speedup_fused:.2f}x)",
+        "note: paper reports 4x/16x overall on SF10-SF300 hardware; the "
+        "pure-Python per-operation floor compresses the mixed-workload gap "
+        "(see DESIGN.md and EXPERIMENTS.md)",
+    ]
+    emit(lines, archive="table3_throughput.txt")
+
+    # Mini-scale shape: the mixed-workload scores stay comparable...
+    for scale in SCALES:
+        assert scores[(scale, "GES_f*")] >= 0.6 * scores[(scale, "GES")]
+    # ...while the long-running IC class — the driver of the paper's
+    # throughput gap — clearly favours the factorized executors.
+    assert speedup_fused >= 1.2

@@ -1,0 +1,78 @@
+"""A guided tour of the LDBC SNB benchmark harness.
+
+Runs a small LDBC SNB Interactive mix against all three GES variants plus
+the Volcano competitor stand-in, then prints the paper-style summary: per-
+query latency, throughput score, and the factorization memory effect.
+
+Run:  python examples/benchmark_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import GES, EngineConfig
+from repro.baselines import VolcanoEngine
+from repro.exec.base import ExecStats
+from repro.ldbc import BenchmarkDriver, ParameterGenerator, REGISTRY, generate
+
+
+def fresh_engine(name: str):
+    dataset = generate("SF10", seed=42)
+    if name == "Volcano":
+        return dataset, VolcanoEngine(dataset.store)
+    config = {
+        "GES": EngineConfig.ges(),
+        "GES_f": EngineConfig.ges_f(),
+        "GES_f*": EngineConfig.ges_f_star(),
+    }[name]
+    return dataset, GES(dataset.store, config)
+
+
+def main() -> None:
+    print("=== LDBC SNB Interactive, mini-SF10 ===\n")
+
+    # 1. Full benchmark runs (IC + IS + IU mix per spec frequencies).
+    print(f"{'engine':8} {'ops':>5} {'wall s':>7} {'score ops/s':>12}")
+    for name in ("Volcano", "GES", "GES_f", "GES_f*"):
+        dataset, engine = fresh_engine(name)
+        report = BenchmarkDriver(engine, dataset, seed=7).run(num_operations=200)
+        print(
+            f"{name:8} {len(report.logs):>5} {report.wall_seconds:>7.2f} "
+            f"{report.throughput_score(workers=1):>12.0f}"
+        )
+
+    # 2. Per-query latency of the long-running complex reads (Fig. 11 style).
+    print("\nper-query mean latency (ms), 3 parameter draws each:")
+    heavy = ("IC1", "IC5", "IC9")
+    dataset, _ = fresh_engine("GES")
+    print(f"{'query':6}" + "".join(f"{n:>10}" for n in ("GES", "GES_f", "GES_f*")))
+    rows = {}
+    for variant in ("GES", "GES_f", "GES_f*"):
+        dataset, engine = fresh_engine(variant)
+        gen = ParameterGenerator(dataset, seed=13)
+        for query in heavy:
+            stats = ExecStats()
+            for _ in range(3):
+                REGISTRY[query].fn(engine, gen.params_for(query), stats)
+            rows.setdefault(query, {})[variant] = stats.total_seconds / 3 * 1e3
+    for query in heavy:
+        print(f"{query:6}" + "".join(f"{rows[query][v]:>10.2f}" for v in ("GES", "GES_f", "GES_f*")))
+
+    # 3. The Table 2 effect: intermediate-result footprint per variant.
+    print("\nIC9 peak intermediate bytes per variant (Table 2 style):")
+    for variant in ("GES", "GES_f", "GES_f*"):
+        dataset, engine = fresh_engine(variant)
+        gen = ParameterGenerator(dataset, seed=13)
+        stats = ExecStats()
+        REGISTRY["IC9"].fn(engine, gen.params_for("IC9"), stats)
+        print(f"  {variant:8} {stats.peak_intermediate_bytes:>10} B")
+
+    # 4. Simulated multi-worker scaling (Fig. 13 substitution).
+    dataset, engine = fresh_engine("GES_f*")
+    report = BenchmarkDriver(engine, dataset, seed=7).run(num_operations=200)
+    print("\nsimulated scaling of the measured operation stream:")
+    for workers in (1, 2, 4, 8, 16):
+        print(f"  {workers:>2} workers: {report.throughput_score(workers):>10.0f} ops/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Quickstart: build a small property graph, query it with Cypher, and
+compare the three GES executor variants.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DataType,
+    EdgeLabelDef,
+    EngineConfig,
+    GES,
+    GraphSchema,
+    PropertyDef,
+    VertexLabelDef,
+)
+from repro.engine import open_all_variants
+from repro.plan import plan_summary
+
+
+def build_schema() -> GraphSchema:
+    schema = GraphSchema()
+    schema.add_vertex_label(
+        VertexLabelDef(
+            "Person",
+            [PropertyDef("id", DataType.INT64), PropertyDef("name", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            "Message",
+            [PropertyDef("id", DataType.INT64), PropertyDef("length", DataType.INT64)],
+            primary_key="id",
+        )
+    )
+    schema.add_edge_label(EdgeLabelDef("KNOWS", "Person", "Person"))
+    schema.add_edge_label(EdgeLabelDef("HAS_CREATOR", "Message", "Person"))
+    return schema
+
+
+def main() -> None:
+    # 1. Compose an engine (the default configuration is GES_f*, the
+    #    factorized executor with operator fusion).
+    ges = GES(build_schema())
+    print("engine:", ges.describe()["variant"])
+
+    # 2. Load a tiny social graph: person 0 knows 1 and 2; 1 knows 3; ...
+    store = ges.store
+    store.bulk_load_vertices(
+        "Person",
+        {"id": np.arange(5), "name": np.asarray(list("ABCDE"), dtype=object)},
+    )
+    store.bulk_load_vertices(
+        "Message",
+        {"id": np.arange(100, 106), "length": np.asarray([140, 123, 120, 200, 90, 130])},
+    )
+    store.bulk_load_edges(
+        "KNOWS", "Person", "Person",
+        np.asarray([0, 0, 1, 2, 1, 2, 3, 4]), np.asarray([1, 2, 3, 4, 0, 0, 1, 2]),
+    )
+    store.bulk_load_edges(
+        "HAS_CREATOR", "Message", "Person",
+        np.arange(6), np.asarray([1, 2, 2, 3, 4, 3]),
+    )
+
+    # 3. Ask the paper's Figure 8 question: long messages by friends within
+    #    two hops, best two first.
+    query = """
+    MATCH (p:Person)-[:KNOWS*1..2]->(f)
+    WHERE id(p) = $start
+    MATCH (f)<-[:HAS_CREATOR]-(msg)
+    WHERE msg.length > 125
+    RETURN id(f) AS friend, id(msg) AS message, msg.length AS len
+    ORDER BY len DESC, friend ASC
+    LIMIT 2
+    """
+    print("physical plan:", plan_summary(ges.plan(query)))
+    result = ges.execute(query, {"start": 0})
+    for row in result:
+        print("row:", row)
+
+    # 4. The same store can back all three paper variants; they agree on
+    #    results but differ in how much intermediate state they touch.
+    for name, engine in open_all_variants(store).items():
+        outcome = engine.execute(query, {"start": 0})
+        print(
+            f"{name:7s} rows={outcome.rows} "
+            f"peak_intermediate={outcome.stats.peak_intermediate_bytes}B "
+            f"defactor={outcome.stats.defactor_count}"
+        )
+
+    # 5. Updates run as MV2PL transactions; snapshot readers are unaffected.
+    from repro.storage import VertexRef
+
+    txn = ges.transaction()
+    handle = txn.add_vertex("Person", {"id": 99, "name": "Newcomer"})
+    txn.add_edge("KNOWS", handle, VertexRef("Person", 0))
+    txn.commit()
+    count = ges.execute("MATCH (p:Person) RETURN count(*) AS n").rows[0][0]
+    print("persons after insert:", count)
+
+
+if __name__ == "__main__":
+    main()

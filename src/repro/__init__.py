@@ -1,0 +1,44 @@
+"""Reproduction of *GES: High-Performance Graph Processing Engine and
+Service in Huawei* (SIGMOD-Companion 2025).
+
+Public API highlights:
+
+* :class:`GES` / :class:`GraphEngineService` — the engine facade;
+* :class:`EngineConfig` — the three paper variants (GES, GES_f, GES_f*);
+* :mod:`repro.core` — the factorized primitives (f-Block, f-Tree);
+* :mod:`repro.ldbc` — the LDBC SNB Interactive substrate (datagen, the 29
+  workload queries, and the benchmark driver).
+"""
+
+from .engine import ALL_VARIANTS, EngineConfig, GES, GraphEngineService, open_all_variants
+from .errors import GesError
+from .exec.base import QueryResult
+from .storage import (
+    Direction,
+    EdgeLabelDef,
+    GraphSchema,
+    GraphStore,
+    PropertyDef,
+    VertexLabelDef,
+)
+from .types import DataType
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ALL_VARIANTS",
+    "DataType",
+    "Direction",
+    "EdgeLabelDef",
+    "EngineConfig",
+    "GES",
+    "GesError",
+    "GraphEngineService",
+    "GraphSchema",
+    "GraphStore",
+    "PropertyDef",
+    "QueryResult",
+    "VertexLabelDef",
+    "open_all_variants",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Baseline engines standing in for the paper's competitor systems."""
+
+from .volcano import VolcanoEngine
+
+__all__ = ["VolcanoEngine"]

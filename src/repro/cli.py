@@ -1,0 +1,176 @@
+"""Command-line interface for the GES reproduction.
+
+Three subcommands::
+
+    python -m repro.cli generate --scale SF10 --out /tmp/snb10
+    python -m repro.cli query --scale SF1 "MATCH (p:Person) RETURN count(*) AS n"
+    python -m repro.cli bench --scale SF10 --ops 200 --variant "GES_f*"
+
+``query`` and ``bench`` accept either ``--scale`` (generate a mini-SNB
+graph in memory) or ``--graph DIR`` (load a snapshot written by
+``generate --out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from . import GES, EngineConfig
+from .baselines import VolcanoEngine
+from .ldbc import BenchmarkDriver, SCALE_FACTORS, generate, validate
+from .storage import GraphStore, load_graph, save_graph
+
+VARIANTS = {
+    "GES": EngineConfig.ges,
+    "GES_f": EngineConfig.ges_f,
+    "GES_f*": EngineConfig.ges_f_star,
+}
+
+
+def _resolve_store(args: argparse.Namespace) -> tuple[GraphStore, object | None]:
+    if getattr(args, "graph", None):
+        return load_graph(args.graph), None
+    dataset = generate(args.scale, seed=args.seed)
+    return dataset.store, dataset
+
+
+def _make_engine(store: GraphStore, variant: str):
+    if variant == "Volcano":
+        return VolcanoEngine(store)
+    try:
+        config = VARIANTS[variant]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)} or Volcano"
+        )
+    return GES(store, config)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a mini-SNB graph, print stats, optionally snapshot it."""
+    started = time.perf_counter()
+    dataset = generate(args.scale, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    info = dataset.info
+    print(
+        f"{args.scale}: {info.num_persons} persons, {info.num_forums} forums, "
+        f"{info.num_messages} messages ({info.num_posts} posts), "
+        f"{info.num_knows_pairs} friendships [{elapsed:.2f}s]"
+    )
+    print(f"vertices={dataset.store.vertex_count} edges={dataset.store.edge_count}")
+    if args.out:
+        path = save_graph(dataset.store, args.out)
+        print(f"snapshot written to {path}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run one Cypher query and print rows (stats go to stderr)."""
+    store, _ = _resolve_store(args)
+    engine = _make_engine(store, args.variant)
+    if engine.variant == "Volcano":
+        raise SystemExit("the Volcano baseline takes logical plans, not Cypher")
+    params = {}
+    for binding in args.param or []:
+        name, _, value = binding.partition("=")
+        params[name] = int(value) if value.lstrip("-").isdigit() else value
+    result = engine.execute(args.cypher, params)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result.to_dicts(), indent=2, default=str))
+    else:
+        print("\t".join(result.columns))
+        for row in result.rows:
+            print("\t".join(str(v) for v in row))
+    print(
+        f"-- {len(result.rows)} rows, {result.stats.total_seconds * 1e3:.2f} ms, "
+        f"peak intermediate {result.stats.peak_intermediate_bytes} B",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the LDBC driver and print the throughput report."""
+    dataset = generate(args.scale, seed=args.seed)
+    engine = _make_engine(dataset.store, args.variant)
+    driver = BenchmarkDriver(engine, dataset, seed=args.seed)
+    report = driver.run(num_operations=args.ops)
+    print(
+        f"{args.variant} on {args.scale}: {len(report.logs)} ops in "
+        f"{report.wall_seconds:.2f}s, closed-loop {report.closed_loop_throughput:.0f} "
+        f"ops/s, TCR score {report.throughput_score(args.workers):.0f} ops/s "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''})"
+    )
+    for category in ("IC", "IS", "IU"):
+        lat = report.latencies(category=category)
+        if len(lat):
+            print(
+                f"  {category}: n={len(lat)} mean={lat.mean() * 1e3:.2f}ms "
+                f"p95={float(np.percentile(lat, 95)) * 1e3:.2f}ms"
+            )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Audit read-query agreement across all engine variants."""
+    dataset = generate(args.scale, seed=args.seed)
+    report = validate(dataset, draws=args.draws, seed=args.seed)
+    print(report.summary())
+    for mismatch in report.mismatches:
+        print(f"  mismatch: {mismatch.query} on {mismatch.variant}")
+    for query, variant, error in report.errors:
+        print(f"  error: {query} on {variant}: {error}")
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(prog="repro-ges", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a mini LDBC SNB graph")
+    gen.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", help="write a snapshot directory")
+    gen.set_defaults(fn=cmd_generate)
+
+    query = sub.add_parser("query", help="run a Cypher query")
+    query.add_argument("cypher")
+    query.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    query.add_argument("--graph", help="snapshot directory instead of --scale")
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--variant", default="GES_f*")
+    query.add_argument("--param", action="append", metavar="NAME=VALUE")
+    query.add_argument("--format", choices=("table", "json"), default="table")
+    query.set_defaults(fn=cmd_query)
+
+    bench = sub.add_parser("bench", help="run the LDBC benchmark driver")
+    bench.add_argument("--scale", default="SF10", choices=sorted(SCALE_FACTORS))
+    bench.add_argument("--ops", type=int, default=200)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--variant", default="GES_f*")
+    bench.add_argument("--workers", type=int, default=1)
+    bench.set_defaults(fn=cmd_bench)
+
+    check = sub.add_parser("validate", help="audit engine agreement on reads")
+    check.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    check.add_argument("--seed", type=int, default=7)
+    check.add_argument("--draws", type=int, default=2)
+    check.set_defaults(fn=cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Factorized primitives: f-Block, f-Tree, flat block, de-factoring, and
+pointer-based lazy neighbor columns (paper §4.2, §5)."""
+
+from .column import Column, ColumnLike, concat_columns
+from .defactor import materialize, materialize_rows
+from .fblock import FBlock
+from .flatblock import FlatBlock
+from .ftree import FTree, FTreeNode, IndexVector, singleton_tree
+from .lazy import LazyNeighborColumn
+
+__all__ = [
+    "Column",
+    "ColumnLike",
+    "FBlock",
+    "FlatBlock",
+    "FTree",
+    "FTreeNode",
+    "IndexVector",
+    "LazyNeighborColumn",
+    "concat_columns",
+    "materialize",
+    "materialize_rows",
+    "singleton_tree",
+]

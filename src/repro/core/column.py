@@ -1,0 +1,97 @@
+"""Query-time columns: the Singleton unions stored inside f-Blocks.
+
+A :class:`Column` is an immutable, named, typed vector.  Every f-Block
+column implements the same tiny interface (``values`` / ``__len__`` /
+``nbytes`` / ``dtype``) so the executor can mix eager NumPy-backed columns
+with the lazy pointer-based neighbor columns from :mod:`repro.core.lazy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..types import DataType, infer_data_type
+
+
+@runtime_checkable
+class ColumnLike(Protocol):
+    """Interface every f-Block column satisfies."""
+
+    name: str
+    dtype: DataType
+
+    def __len__(self) -> int: ...
+
+    def values(self) -> np.ndarray:
+        """The column contents as a NumPy array (materializing if lazy)."""
+        ...
+
+    @property
+    def nbytes(self) -> int:
+        """Current memory footprint (lazy columns report pointer size)."""
+        ...
+
+
+class Column:
+    """An eager, immutable column backed by a NumPy array."""
+
+    __slots__ = ("name", "dtype", "_data", "_payload")
+
+    def __init__(self, name: str, dtype: DataType, data: np.ndarray | list) -> None:
+        self.name = name
+        self.dtype = dtype
+        array = np.asarray(data, dtype=dtype.numpy_dtype)
+        if array.ndim != 1:
+            raise ValueError(f"column {name!r} must be one-dimensional")
+        self._data = array
+        self._payload = string_payload_bytes(array) if dtype is DataType.STRING else 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def values(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def nbytes(self) -> int:
+        """Columnar footprint: raw array plus string payload bytes."""
+        return int(self._data.nbytes) + self._payload
+
+    def get(self, i: int) -> Any:
+        value = self._data[i]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Column":
+        """New column gathering *indices* (the de-factoring primitive)."""
+        return Column(name or self.name, self.dtype, self._data[indices])
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.dtype, self._data)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.dtype.value}, n={len(self)})"
+
+    @classmethod
+    def from_values(cls, name: str, values: Iterable[Any]) -> "Column":
+        """Infer the dtype from the first non-null value (test convenience)."""
+        values = list(values)
+        dtype = DataType.STRING
+        for value in values:
+            if value is not None:
+                dtype = infer_data_type(value)
+                break
+        return cls(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+
+
+def concat_columns(name: str, dtype: DataType, parts: list[np.ndarray]) -> Column:
+    """Concatenate array chunks into one eager column."""
+    if not parts:
+        return Column(name, dtype, np.empty(0, dtype=dtype.numpy_dtype))
+    return Column(name, dtype, np.concatenate(parts))
+
+
+def string_payload_bytes(values: np.ndarray) -> int:
+    """Total character bytes held by an object column (None-safe)."""
+    return sum(len(v) for v in values if isinstance(v, str))

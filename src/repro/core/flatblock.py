@@ -1,0 +1,248 @@
+"""The flat block: a fully materialized table of tuples (paper §4.2).
+
+This is the "ultimate solution" representation: every tuple exists
+explicitly, with all the redundancy that implies.  The GES baseline variant
+pipes flat blocks between all operators; the factorized variants de-factor
+into one only when an operator needs global tuple state (multi-node
+Order-By / Group-By / Distinct).
+
+Columns are NumPy arrays so block-based operators stay vectorized, but the
+block is semantically row-oriented: ``nbytes`` charges the full materialized
+size and :meth:`rows` iterates tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..types import DataType
+from .column import Column, ColumnLike, string_payload_bytes
+
+
+class FlatBlock:
+    """A materialized relation: named, typed, equal-length arrays."""
+
+    __slots__ = ("_data", "_dtypes", "_order", "_length", "_payloads")
+
+    #: Accounting cost of one value slot in a row-oriented tuple (value +
+    #: type/offset overhead), per the paper's "sets of tuples" framing.
+    ROW_VALUE_BYTES = 16
+
+    def __init__(self) -> None:
+        self._data: dict[str, np.ndarray] = {}
+        self._dtypes: dict[str, DataType] = {}
+        self._order: list[str] = []
+        self._length = 0
+        self._payloads: dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, columns: Iterable[ColumnLike]) -> "FlatBlock":
+        block = cls()
+        for column in columns:
+            block.add_array(column.name, column.dtype, column.values())
+        return block
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, tuple[DataType, np.ndarray | list]]) -> "FlatBlock":
+        block = cls()
+        for name, (dtype, values) in data.items():
+            block.add_array(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+        return block
+
+    def add_array(self, name: str, dtype: DataType, values: np.ndarray) -> None:
+        """Append a column from a raw array (enforces equal lengths)."""
+        if name in self._data:
+            raise ExecutionError(f"duplicate column {name!r} in flat block")
+        if self._order and len(values) != self._length:
+            raise ExecutionError(
+                f"column {name!r} has {len(values)} rows, block has {self._length}"
+            )
+        self._data[name] = values
+        self._dtypes[name] = dtype
+        self._order.append(name)
+        self._length = len(values)
+        if dtype is DataType.STRING:
+            self._payloads[name] = string_payload_bytes(values)
+
+    def add_column(self, column: ColumnLike) -> None:
+        """Append a query-time column (materializing it if lazy)."""
+        self.add_array(column.name, column.dtype, column.values())
+
+    # -- schema & access ------------------------------------------------------------
+
+    @property
+    def schema(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._order)
+
+    def has_column(self, name: str) -> bool:
+        """True when the block carries a column named *name*."""
+        return name in self._data
+
+    def dtype(self, name: str) -> DataType:
+        """Logical type of column *name*."""
+        try:
+            return self._dtypes[name]
+        except KeyError:
+            raise ExecutionError(f"flat block has no column {name!r}") from None
+
+    def array(self, name: str) -> np.ndarray:
+        """The raw backing array of column *name*."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise ExecutionError(f"flat block has no column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        """Column *name* wrapped as an immutable query-time column."""
+        return Column(name, self.dtype(name), self.array(name))
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def nbytes(self) -> int:
+        """Row-oriented tuple footprint — the flat representation's cost.
+
+        A flat block *is* a set of materialized tuples (paper §1/§3): each
+        of the ``len × num_columns`` value slots costs
+        :data:`ROW_VALUE_BYTES`, plus the string payloads.  The compact
+        columnar accounting lives on f-Blocks; comparing the two is exactly
+        the paper's Table 2 comparison.
+        """
+        slots = self._length * len(self._order) * self.ROW_VALUE_BYTES
+        return slots + sum(self._payloads.values())
+
+    @property
+    def columnar_nbytes(self) -> int:
+        """Raw columnar array bytes (for storage-level introspection)."""
+        return sum(int(a.nbytes) for a in self._data.values()) + sum(
+            self._payloads.values()
+        )
+
+    def rows(self, names: Sequence[str] | None = None) -> Iterator[tuple[Any, ...]]:
+        """Iterate tuples (over *names* or the full schema)."""
+        return iter(self.to_pylist(names))
+
+    def to_pylist(self, names: Sequence[str] | None = None) -> list[tuple[Any, ...]]:
+        """All tuples as native Python values (one vectorized pass)."""
+        names = list(names) if names is not None else self._order
+        if self._length == 0:
+            return []
+        if not names:
+            return [()] * self._length
+        columns = [self._data[n].tolist() for n in names]
+        return list(zip(*columns))
+
+    # -- relational operations (block-based execution) ------------------------------
+
+    def take(self, indices: np.ndarray) -> "FlatBlock":
+        """Row subset / reorder by integer indices."""
+        out = FlatBlock()
+        for name in self._order:
+            out.add_array(name, self._dtypes[name], self._data[name][indices])
+        return out
+
+    def filter(self, mask: np.ndarray) -> "FlatBlock":
+        """Rows where *mask* is True (a fresh materialized block)."""
+        if len(mask) != self._length:
+            raise ExecutionError("filter mask length mismatch")
+        return self.take(np.flatnonzero(mask))
+
+    def select(self, names: Sequence[str]) -> "FlatBlock":
+        """Projection onto a subset of columns (optionally renaming none)."""
+        out = FlatBlock()
+        for name in names:
+            out.add_array(name, self.dtype(name), self.array(name))
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "FlatBlock":
+        """Rename columns per *mapping* (others keep their names)."""
+        out = FlatBlock()
+        for name in self._order:
+            new_name = mapping.get(name, name)
+            out.add_array(new_name, self._dtypes[name], self._data[name])
+        return out
+
+    def sort(self, keys: Sequence[tuple[str, bool]]) -> "FlatBlock":
+        """Stable multi-key sort; each key is (column, ascending)."""
+        if not keys or self._length <= 1:
+            return self
+        # np.lexsort sorts by the *last* key array first, so feed keys in
+        # reverse significance order.
+        arrays = [
+            sort_key_array(self._data[name], self._dtypes[name], ascending)
+            for name, ascending in reversed(list(keys))
+        ]
+        order = np.lexsort(arrays)
+        return self.take(order)
+
+    def limit(self, n: int) -> "FlatBlock":
+        """The first *n* rows (the whole block when n >= len)."""
+        if n >= self._length:
+            return self
+        return self.take(np.arange(n))
+
+    def distinct(self, names: Sequence[str] | None = None) -> "FlatBlock":
+        """Distinct rows over *names* (keeping first occurrence, full rows)."""
+        names = list(names) if names is not None else self._order
+        seen: set[tuple[Any, ...]] = set()
+        keep: list[int] = []
+        for i, key in enumerate(self.to_pylist(names)):
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        return self.take(np.asarray(keep, dtype=np.int64))
+
+    def concat(self, other: "FlatBlock") -> "FlatBlock":
+        """Rows of *self* followed by rows of *other* (same schema)."""
+        if self._order != other._order:
+            raise ExecutionError("concat requires identical schemas")
+        out = FlatBlock()
+        for name in self._order:
+            out.add_array(
+                name,
+                self._dtypes[name],
+                np.concatenate([self._data[name], other._data[name]]),
+            )
+        return out
+
+    def group_indices(self, names: Sequence[str]) -> dict[tuple[Any, ...], np.ndarray]:
+        """Hash grouping: key tuple -> row indices (the flat Group-By core)."""
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        for i, key in enumerate(self.to_pylist(names)):
+            groups.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+
+    @classmethod
+    def empty_like(cls, schema: Sequence[tuple[str, DataType]]) -> "FlatBlock":
+        block = cls()
+        for name, dtype in schema:
+            block.add_array(name, dtype, np.empty(0, dtype=dtype.numpy_dtype))
+        return block
+
+    def __repr__(self) -> str:
+        return f"FlatBlock(schema={self._order}, n={self._length})"
+
+
+def sort_key_array(values: np.ndarray, dtype: DataType, ascending: bool) -> np.ndarray:
+    """A lexsort-ready key array for one sort key.
+
+    Numeric keys sort natively (negated for descending; the int64 NULL
+    sentinel wraps onto itself under negation, so NULLs stay at the
+    extreme).  Strings — which lexsort cannot compare against None — are
+    replaced by dense ranks.
+    """
+    if dtype is DataType.STRING:
+        cleaned = np.asarray(["" if v is None else v for v in values], dtype=object)
+        _, codes = np.unique(cleaned, return_inverse=True)
+        return codes if ascending else -codes
+    if ascending:
+        return values
+    with np.errstate(over="ignore"):
+        return -values

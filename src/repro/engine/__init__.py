@@ -1,0 +1,15 @@
+"""Composable engine service: registry, configuration, GES facade."""
+
+from .config import ALL_VARIANTS, EngineConfig
+from .registry import ModuleRegistry, default_registry
+from .service import GES, GraphEngineService, open_all_variants
+
+__all__ = [
+    "ALL_VARIANTS",
+    "EngineConfig",
+    "GES",
+    "GraphEngineService",
+    "ModuleRegistry",
+    "default_registry",
+    "open_all_variants",
+]

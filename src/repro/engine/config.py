@@ -1,0 +1,50 @@
+"""Engine configuration: which modules each GES instance composes.
+
+The three configurations evaluated in the paper:
+
+* :meth:`EngineConfig.ges` — flat intermediate results (baseline GES);
+* :meth:`EngineConfig.ges_f` — factorized executor (GES_f);
+* :meth:`EngineConfig.ges_f_star` — factorized + operator fusion (GES_f*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Module selection plus runtime knobs for one engine instance."""
+
+    name: str = "GES_f*"
+    executor: str = "factorized"  # execution.executor module
+    optimizer: str = "fusion"  # execution.optimizer module
+    primitives: str = "f-tree"  # execution.primitives module
+    parser: str = "cypher"  # frontend.parser module
+    storage_backend: str = "adjacency-inmemory"
+    workers: int = 1  # inter-query parallelism
+
+    @classmethod
+    def ges(cls, workers: int = 1) -> "EngineConfig":
+        """The flat baseline variant (paper: GES)."""
+        return cls(
+            name="GES",
+            executor="flat",
+            optimizer="none",
+            primitives="flat-block",
+            workers=workers,
+        )
+
+    @classmethod
+    def ges_f(cls, workers: int = 1) -> "EngineConfig":
+        """The factorized variant without fusion (paper: GES_f)."""
+        return cls(name="GES_f", executor="factorized", optimizer="none", workers=workers)
+
+    @classmethod
+    def ges_f_star(cls, workers: int = 1) -> "EngineConfig":
+        """The factorized variant with operator fusion (paper: GES_f*)."""
+        return cls(name="GES_f*", executor="factorized", optimizer="fusion", workers=workers)
+
+
+#: All three paper variants, in ablation order.
+ALL_VARIANTS = (EngineConfig.ges(), EngineConfig.ges_f(), EngineConfig.ges_f_star())

@@ -1,0 +1,165 @@
+"""The Graph Engine Service facade — the library's main entry point.
+
+A :class:`GraphEngineService` (aliased :class:`GES`) composes modules from
+the registry according to its :class:`~repro.engine.config.EngineConfig`,
+owns the graph store and transaction manager, and executes queries given as
+Cypher text or pre-built logical plans.
+
+Typical use::
+
+    from repro import GES, EngineConfig
+
+    ges = GES(schema, config=EngineConfig.ges_f_star())
+    ges.load(...)                       # or mutate via ges.transaction()
+    result = ges.execute(
+        "MATCH (p:Person)-[:KNOWS*1..2]->(f) WHERE id(p) = $pid "
+        "RETURN id(f) ORDER BY id(f) LIMIT 10",
+        {"pid": 42},
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..exec.base import ExecStats, QueryResult
+from ..plan.logical import LogicalPlan
+from ..storage.catalog import GraphSchema
+from ..storage.graph import GraphReadView, GraphStore
+from ..storage.memory_pool import MemoryPool
+from ..txn.transaction import Transaction, TransactionManager
+from .config import EngineConfig
+from .registry import ModuleRegistry, default_registry
+
+
+class GraphEngineService:
+    """One configured GES instance over one graph."""
+
+    def __init__(
+        self,
+        schema: GraphSchema | GraphStore,
+        config: EngineConfig | None = None,
+        registry: ModuleRegistry | None = None,
+        pool: MemoryPool | None = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig.ges_f_star()
+        self.registry = registry if registry is not None else default_registry()
+        if isinstance(schema, GraphStore):
+            self.store = schema
+        else:
+            self.store = GraphStore(schema)
+        self.txn_manager = TransactionManager(self.store, pool)
+        self._parse = self.registry.resolve("frontend", "parser", self.config.parser)
+        self._execute = self.registry.resolve(
+            "execution", "executor", self.config.executor
+        )
+        self._optimize = self.registry.resolve(
+            "execution", "optimizer", self.config.optimizer
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def compile(self, query: str) -> LogicalPlan:
+        """Parse + bind Cypher text (without optimizing or executing)."""
+        return self._parse(query, self.store.schema)
+
+    def plan(self, query: str | LogicalPlan) -> LogicalPlan:
+        """The physical pipeline this instance would run for *query*."""
+        logical = self.compile(query) if isinstance(query, str) else query
+        return self._optimize(logical)
+
+    def execute(
+        self,
+        query: str | LogicalPlan,
+        params: Mapping[str, Any] | None = None,
+        view: GraphReadView | None = None,
+        stats: ExecStats | None = None,
+    ) -> QueryResult:
+        """Run a query and return its rows plus execution statistics.
+
+        Reads run against a snapshot view when any write has committed
+        (non-blocking MV2PL reads); before the first write the unversioned
+        fast path is used.
+        """
+        physical = self.plan(query)
+        if view is None:
+            view = self.read_view()
+        return self._execute(physical, view, params, stats)
+
+    def explain(self, query: str | LogicalPlan) -> str:
+        """A human-readable description of the physical pipeline.
+
+        One line per operator, marking the fused operators this
+        configuration's optimizer produced.
+        """
+        from ..plan.logical import (
+            AggregateTopK,
+            Expand,
+            Filter,
+            TopK,
+            VertexExpand,
+            plan_summary,
+        )
+
+        physical = self.plan(query)
+        lines = [f"physical plan ({self.config.name}): {plan_summary(physical)}"]
+        for i, op in enumerate(physical.ops):
+            detail = ""
+            if isinstance(op, Expand):
+                detail = f" {op.from_var}-[:{op.edge_label}]-{op.to_var}"
+                if op.is_multi_hop:
+                    detail += f" *{op.min_hops}..{op.max_hops}"
+                if op.neighbor_filter is not None:
+                    detail += " [fused filter]"
+            elif isinstance(op, VertexExpand):
+                detail = f" seek {op.seek_var} + expand [fused]"
+            elif isinstance(op, (TopK, AggregateTopK)):
+                detail = f" n={op.n} [fused]"
+            elif isinstance(op, Filter):
+                detail = f" {op.expr!r}"
+            lines.append(f"  {i + 1}. {op.op_name}{detail}")
+        return "\n".join(lines)
+
+    # -- views & transactions ------------------------------------------------------
+
+    def read_view(self) -> GraphReadView:
+        """The view queries run against: snapshot once writes exist."""
+        if self.txn_manager.versions.current() > 0:
+            return self.txn_manager.read_view()
+        return self.txn_manager.latest_view()
+
+    def transaction(self) -> Transaction:
+        """Begin a write transaction (MV2PL; see :mod:`repro.txn`)."""
+        return self.txn_manager.begin()
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def variant(self) -> str:
+        """Which paper variant this configuration corresponds to."""
+        return self.config.name
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable engine/module/graph summary."""
+        return {
+            "variant": self.config.name,
+            "executor": self.config.executor,
+            "optimizer": self.config.optimizer,
+            "primitives": self.config.primitives,
+            "vertices": self.store.vertex_count,
+            "edges": self.store.edge_count,
+            "modules": self.registry.describe(),
+        }
+
+
+#: Short alias used throughout examples and benchmarks.
+GES = GraphEngineService
+
+
+def open_all_variants(store: GraphStore) -> dict[str, GraphEngineService]:
+    """The three paper variants sharing one store (ablation harness)."""
+    return {
+        "GES": GraphEngineService(store, EngineConfig.ges()),
+        "GES_f": GraphEngineService(store, EngineConfig.ges_f()),
+        "GES_f*": GraphEngineService(store, EngineConfig.ges_f_star()),
+    }

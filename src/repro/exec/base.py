@@ -1,0 +1,202 @@
+"""Execution infrastructure shared by all engine variants.
+
+Holds the per-query :class:`ExecStats` (operator timings, peak intermediate
+size — the instrumentation behind the paper's Figure 3 and Table 2), the
+:class:`ExecutionContext` threading the graph read view and parameters
+through operators, and the :class:`QueryResult` returned to callers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.flatblock import FlatBlock
+from ..errors import ExecutionError
+from ..storage.graph import GraphReadView
+from ..types import DataType
+
+
+class ExecStats:
+    """Per-query execution statistics.
+
+    * ``op_times`` — cumulative seconds per operator name (Figure 3).
+    * ``peak_intermediate_bytes`` — max footprint of the structure passed
+      between operators (Table 2).  Stored-procedure internals are excluded
+      per the paper's accounting note.
+    * ``defactor_count`` — how often the executor had to fall back from the
+      f-Tree to a flat block.
+    """
+
+    def __init__(self) -> None:
+        self.op_times: dict[str, float] = {}
+        self.op_sequence: list[tuple[str, float, int]] = []
+        self.peak_intermediate_bytes = 0
+        self.defactor_count = 0
+        self.rows_out = 0
+        self.total_seconds = 0.0
+
+    def record_op(self, name: str, seconds: float, out_bytes: int) -> None:
+        self.op_times[name] = self.op_times.get(name, 0.0) + seconds
+        self.op_sequence.append((name, seconds, out_bytes))
+        if out_bytes > self.peak_intermediate_bytes:
+            self.peak_intermediate_bytes = out_bytes
+
+    def note_bytes(self, nbytes: int) -> None:
+        if nbytes > self.peak_intermediate_bytes:
+            self.peak_intermediate_bytes = nbytes
+
+    def note_defactor(self) -> None:
+        self.defactor_count += 1
+
+    def merge(self, other: "ExecStats") -> None:
+        """Fold another query stage's stats into this one."""
+        for name, seconds in other.op_times.items():
+            self.op_times[name] = self.op_times.get(name, 0.0) + seconds
+        self.op_sequence.extend(other.op_sequence)
+        self.peak_intermediate_bytes = max(
+            self.peak_intermediate_bytes, other.peak_intermediate_bytes
+        )
+        self.defactor_count += other.defactor_count
+        self.total_seconds += other.total_seconds
+
+    def dominant_operator(self) -> tuple[str, float]:
+        """(name, share of total op time) of the costliest operator."""
+        total = sum(self.op_times.values())
+        if not total:
+            return ("", 0.0)
+        name = max(self.op_times, key=lambda k: self.op_times[k])
+        return (name, self.op_times[name] / total)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecStats(total={self.total_seconds * 1e3:.2f}ms, "
+            f"peak={self.peak_intermediate_bytes}B, defactor={self.defactor_count})"
+        )
+
+
+@dataclass
+class QueryResult:
+    """Final rows of a query plus its execution statistics."""
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+    stats: ExecStats = field(default_factory=ExecStats)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def column_values(self, name: str) -> list[Any]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class ExecutionContext:
+    """Everything an operator needs: the read view, params, stats, labels."""
+
+    def __init__(
+        self,
+        view: GraphReadView,
+        params: Mapping[str, Any] | None = None,
+        stats: ExecStats | None = None,
+    ) -> None:
+        self.view = view
+        self.params: dict[str, Any] = dict(params or {})
+        self.stats = stats if stats is not None else ExecStats()
+        self.var_labels: dict[str, str] = {}
+
+    def label_of(self, var: str) -> str:
+        try:
+            return self.var_labels[var]
+        except KeyError:
+            raise ExecutionError(f"unbound vertex variable {var!r}") from None
+
+
+class OpTimer:
+    """Context manager timing one operator and recording the output size."""
+
+    def __init__(self, ctx: ExecutionContext, name: str) -> None:
+        self.ctx = ctx
+        self.name = name
+        self._start = 0.0
+        self.out_bytes = 0
+
+    def __enter__(self) -> "OpTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.ctx.stats.record_op(self.name, elapsed, self.out_bytes)
+
+
+class BlockResolver:
+    """Column resolver over a :class:`FlatBlock` for expression evaluation."""
+
+    def __init__(self, block: FlatBlock) -> None:
+        self._block = block
+
+    def resolve(self, name: str) -> np.ndarray:
+        return self._block.array(name)
+
+    def dtype_of(self, name: str) -> DataType:
+        return self._block.dtype(name)
+
+
+class ArraysResolver:
+    """Column resolver over a plain dict of arrays (Expand-time filters)."""
+
+    def __init__(
+        self, arrays: Mapping[str, np.ndarray], dtypes: Mapping[str, DataType]
+    ) -> None:
+        self._arrays = arrays
+        self._dtypes = dtypes
+
+    def resolve(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ExecutionError(f"no column {name!r} in expansion scope") from None
+
+    def dtype_of(self, name: str) -> DataType:
+        return self._dtypes.get(name, DataType.INT64)
+
+
+def result_from_flat(
+    block: FlatBlock, returns: Sequence[str] | None, stats: ExecStats
+) -> QueryResult:
+    """Build the final :class:`QueryResult` from a flat block.
+
+    Integer NULL sentinels are normalized to None at this boundary so
+    callers (and cross-engine comparisons) see one NULL representation.
+    """
+    from ..types import NULL_INT
+
+    columns = list(returns) if returns is not None else block.schema
+    missing = [c for c in columns if not block.has_column(c)]
+    if missing:
+        raise ExecutionError(f"plan returns unknown columns {missing}")
+    rows = block.to_pylist(columns)
+    has_nulls = any(
+        block.dtype(c).is_integer_backed and bool((block.array(c) == NULL_INT).any())
+        for c in columns
+    )
+    if has_nulls:
+        rows = [
+            tuple(None if isinstance(v, int) and v == NULL_INT else v for v in row)
+            for row in rows
+        ]
+    stats.rows_out = len(rows)
+    return QueryResult(columns, rows, stats)

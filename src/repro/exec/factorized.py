@@ -1,0 +1,817 @@
+"""The factorized executor — GES_f, and the operator host for GES_f*.
+
+Intermediate results live in an f-Tree for as long as possible:
+
+* Expand appends a child node whose neighbor column is, whenever the
+  storage layout allows it, a *lazy* pointer-based column (paper §5);
+* Filter flips selection bits on the node owning the filtered attributes;
+* GetProperty appends a property column to the owning node;
+* Aggregates whose attributes are confined to one node run directly on the
+  factorization using index-vector counting (no enumeration at all);
+* everything else *de-factors* into a flat block and continues with the
+  block-based operators from :mod:`repro.exec.flat` — the paper's
+  "ultimate solution".
+
+The fused operators produced by the optimizer (TopK, AggregateTopK,
+VertexExpand, Expand with pushed-down filters) are also implemented here;
+they consume the constant-delay enumeration streamingly instead of
+materializing a flat block first.
+"""
+
+from __future__ import annotations
+
+import time
+import heapq
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.column import Column
+from ..core.defactor import materialize
+from ..core.fblock import FBlock
+from ..core.flatblock import FlatBlock, sort_key_array
+from ..core.ftree import FTree, FTreeNode, IndexVector
+from ..core.lazy import LazyNeighborColumn
+from ..errors import ExecutionError
+from ..plan.expressions import Col, Expr
+from ..plan.logical import (
+    Aggregate,
+    AggregateTopK,
+    AggSpec,
+    Distinct,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalOp,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeByRows,
+    NodeScan,
+    OrderBy,
+    ProcedureCall,
+    Project,
+    TopK,
+    VertexExpand,
+    resolve_labels,
+)
+from ..storage.graph import GraphReadView
+from ..types import DataType, NULL_INT
+from .base import ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
+from .expand_util import expand_batch, resolve_expand_keys
+from .flat import dispatch_flat, flat_aggregate, gather_with_nulls, project_block
+from .procedures import get_procedure
+
+
+class PipelineState:
+    """Current intermediate result: an f-Tree until something de-factors it."""
+
+    def __init__(self) -> None:
+        self.tree: FTree | None = None
+        self.flat: FlatBlock | None = None
+        self.projection: list[str] | None = None
+        # Deferred node-local Order-By (paper: "append a special column to
+        # indicate the orders"): (node, keys), consumed by a following
+        # Limit via ordered enumeration, or flushed by de-factoring.
+        self.pending_order: tuple[FTreeNode, list[tuple[str, bool]]] | None = None
+
+    @property
+    def is_factorized(self) -> bool:
+        return self.tree is not None
+
+    @property
+    def nbytes(self) -> int:
+        if self.tree is not None:
+            return self.tree.nbytes
+        if self.flat is not None:
+            return self.flat.nbytes
+        return 0
+
+    def output_attrs(self) -> list[str]:
+        if self.projection is not None:
+            return list(self.projection)
+        if self.tree is not None:
+            return self.tree.schema
+        assert self.flat is not None
+        return self.flat.schema
+
+
+class FBlockResolver:
+    """Column resolver over one f-Block (node-local filter/projection)."""
+
+    def __init__(self, block: FBlock) -> None:
+        self._block = block
+
+    def resolve(self, name: str) -> np.ndarray:
+        return self._block.column(name).values()
+
+    def dtype_of(self, name: str) -> DataType:
+        return self._block.column(name).dtype
+
+
+def execute_factorized(
+    plan: LogicalPlan,
+    view: GraphReadView,
+    params: Mapping[str, Any] | None = None,
+    stats: ExecStats | None = None,
+) -> QueryResult:
+    """Run *plan* keeping intermediate results factorized when possible."""
+    ctx = ExecutionContext(view, params, stats)
+    ctx.var_labels = resolve_labels(plan, view.schema)
+    started = time.perf_counter()
+    state = PipelineState()
+    for op in plan.ops:
+        with OpTimer(ctx, op.op_name) as timer:
+            dispatch_factorized(state, op, ctx)
+            timer.out_bytes = state.nbytes
+    result = _finalize(state, plan, ctx)
+    ctx.stats.total_seconds += time.perf_counter() - started
+    return result
+
+
+def _finalize(state: PipelineState, plan: LogicalPlan, ctx: ExecutionContext) -> QueryResult:
+    if state.pending_order is not None:
+        defactor(state, ctx)  # applies the deferred sort
+    if state.tree is not None:
+        attrs = plan.returns or state.output_attrs()
+        block = materialize(state.tree, attrs)
+        ctx.stats.note_bytes(state.tree.nbytes)
+    else:
+        assert state.flat is not None
+        block = state.flat
+        if state.projection is not None:
+            block = block.select(state.projection)
+    returns = plan.returns or state.projection
+    return result_from_flat(block, returns, ctx.stats)
+
+
+def defactor(state: PipelineState, ctx: ExecutionContext) -> FlatBlock:
+    """Fall back to the flat representation (counted in the stats)."""
+    if state.flat is not None:
+        return state.flat
+    assert state.tree is not None
+    tree_bytes = state.tree.nbytes
+    attrs = state.projection if state.projection is not None else state.tree.schema
+    pending = state.pending_order
+    state.pending_order = None
+    if pending is not None:
+        for name, _ in pending[1]:
+            if name not in attrs:
+                attrs = list(attrs) + [name]
+    block = materialize(state.tree, attrs)
+    if pending is not None:
+        block = block.sort(pending[1])
+    ctx.stats.note_defactor()
+    # De-factoring holds the f-Tree and the produced flat block at once.
+    ctx.stats.note_bytes(tree_bytes + block.nbytes)
+    state.tree = None
+    state.flat = block
+    state.projection = None
+    return block
+
+
+def dispatch_factorized(state: PipelineState, op: LogicalOp, ctx: ExecutionContext) -> None:
+    """Evaluate one operator, updating *state* in place."""
+    # Source operators.
+    if isinstance(op, NodeByIdSeek):
+        _start(state, op.var, _seek_rows(op.label, op.key, ctx))
+        return
+    if isinstance(op, NodeScan):
+        _start(state, op.var, ctx.view.all_rows(op.label))
+        return
+    if isinstance(op, NodeByRows):
+        _start(state, op.var, np.asarray(ctx.params[op.rows_param], dtype=np.int64))
+        return
+    if isinstance(op, ProcedureCall):
+        args = {name: expr.eval_row({}, ctx.params) for name, expr in op.args.items()}
+        state.tree = None
+        state.flat = get_procedure(op.name)(ctx.view, args)
+        state.projection = None
+        state.pending_order = None
+        return
+    if isinstance(op, VertexExpand):
+        _start(state, op.seek_var, _seek_rows(op.seek_label, op.seek_key, ctx))
+        ctx.var_labels.setdefault(op.seek_var, op.seek_label)
+        dispatch_factorized(state, op.expand, ctx)
+        return
+
+    # Once flat, stay block-based (paper: "continues until completion").
+    if state.flat is not None:
+        state.flat = dispatch_flat(state.flat, op, ctx)
+        if isinstance(op, Project):
+            state.projection = [name for name, _ in op.items]
+        elif isinstance(op, (Aggregate, AggregateTopK, Distinct)):
+            state.projection = None
+        return
+
+    assert state.tree is not None
+    if state.pending_order is not None:
+        if isinstance(op, Limit):
+            _ordered_limit(state, op.n, ctx)
+            return
+        # Any other operator forces the deferred sort to materialize.
+        state.flat = defactor(state, ctx)
+        dispatch_factorized(state, op, ctx)
+        return
+    if isinstance(op, Expand):
+        _factorized_expand(state, op, ctx)
+    elif isinstance(op, GetProperty):
+        _factorized_get_property(state.tree, op, ctx)
+    elif isinstance(op, Filter):
+        _factorized_filter(state, op, ctx)
+    elif isinstance(op, Project):
+        _factorized_project(state, op, ctx)
+    elif isinstance(op, Aggregate):
+        # Aggregation needs global tuple state: de-factor and continue
+        # block-based (paper §4.3; the factorized fast path is what the
+        # AggregateProjectTop *fusion* adds in GES_f*).
+        block = defactor(state, ctx)
+        state.flat = flat_aggregate(block, op.group_by, op.aggs, ctx)
+        state.projection = None
+    elif isinstance(op, OrderBy):
+        _factorized_order_by(state, op, ctx)
+    elif isinstance(op, Limit):
+        _factorized_limit(state, op.n, ctx)
+    elif isinstance(op, Distinct):
+        block = defactor(state, ctx)
+        cols = op.cols if op.cols is not None else block.schema
+        state.flat = block.distinct(cols).select(cols)
+        state.projection = None
+    elif isinstance(op, TopK):
+        _fused_top_k(state, op, ctx)
+    elif isinstance(op, AggregateTopK):
+        _fused_aggregate_top_k(state, op, ctx)
+    else:
+        raise ExecutionError(f"factorized executor cannot handle {op.op_name}")
+
+
+# -- sources -----------------------------------------------------------------
+
+
+def _seek_rows(label: str, key: Expr, ctx: ExecutionContext) -> np.ndarray:
+    value = key.eval_row({}, ctx.params)
+    row = ctx.view.vertex_by_key(label, int(value))
+    if row is None:
+        return np.empty(0, dtype=np.int64)
+    return np.asarray([row], dtype=np.int64)
+
+
+def _start(state: PipelineState, var: str, rows: np.ndarray) -> None:
+    block = FBlock([Column(var, DataType.INT64, rows)])
+    state.tree = FTree.single(var, block)
+    state.flat = None
+    state.projection = None
+    state.pending_order = None
+
+
+# -- expand --------------------------------------------------------------------
+
+
+def _factorized_expand(state: PipelineState, op: Expand, ctx: ExecutionContext) -> None:
+    tree = state.tree
+    assert tree is not None
+    if not tree.has_attr(op.from_var):
+        raise ExecutionError(f"Expand from unknown attribute {op.from_var!r}")
+    node = tree.node_of(op.from_var)
+    from_label = ctx.label_of(op.from_var)
+    to_label = op.to_label or ctx.var_labels.get(op.to_var)
+    if to_label is None:
+        raise ExecutionError(f"unresolved destination label for {op.to_var!r}")
+
+    keys = resolve_expand_keys(ctx.view, op, from_label)
+    pointer_join_ok = (
+        len(keys) == 1
+        and not op.is_multi_hop
+        and not op.optional
+        and not op.edge_props
+        and not op.neighbor_props
+        and op.neighbor_filter is None
+        and ctx.view.store.adjacency(keys[0]).supports_segments
+        and ctx.view.version is None
+    )
+    from_values = node.block.column(op.from_var).values()
+
+    if pointer_join_ok:
+        key = keys[0]
+        adjacency = ctx.view.store.adjacency(key)
+        base, starts, lengths = adjacency.meta_for(from_values)
+        # Entries pruned by the selection vector never expand.
+        lengths = np.where(node.selection, lengths, 0)
+        child_block = FBlock([LazyNeighborColumn(op.to_var, base, starts, lengths)])
+        tree.add_child(node, op.to_var, child_block, IndexVector.from_lengths(lengths))
+        return
+
+    # General path: masked sources (pruned by the selection vector) through
+    # the shared expansion machinery.
+    masked = from_values.copy()
+    masked[~node.selection] = NULL_INT
+    batch = expand_batch(ctx.view, op, masked, from_label, to_label, ctx.params)
+    child_block = FBlock([Column(op.to_var, DataType.INT64, batch.neighbors)])
+    for name, (dtype, values) in batch.extra.items():
+        child_block.add_column(Column(name, dtype, values))
+    tree.add_child(node, op.to_var, child_block, IndexVector.from_lengths(batch.counts))
+
+
+# -- projection / filter -----------------------------------------------------------
+
+
+def _factorized_get_property(tree: FTree, op: GetProperty, ctx: ExecutionContext) -> None:
+    node = tree.node_of(op.var)
+    label = ctx.label_of(op.var)
+    dtype = ctx.view.schema.vertex_label(label).property(op.prop).dtype
+    rows = node.block.column(op.var).values()
+    if node.selection.all():
+        values = gather_with_nulls(ctx.view, label, op.prop, dtype, rows)
+    else:
+        # "Factor out useless values": only selection-valid entries are
+        # fetched; invalid slots keep the NULL sentinel.
+        values = np.full(len(rows), dtype.null_value(), dtype=dtype.numpy_dtype)
+        valid = np.flatnonzero(node.selection)
+        if len(valid):
+            values[valid] = gather_with_nulls(
+                ctx.view, label, op.prop, dtype, rows[valid]
+            )
+    tree.add_column(node, Column(op.out, dtype, values))
+
+
+def _factorized_filter(state: PipelineState, op: Filter, ctx: ExecutionContext) -> None:
+    tree = state.tree
+    assert tree is not None
+    cols = op.expr.columns()
+    nodes = {id(tree.node_of(c)) for c in cols if tree.has_attr(c)}
+    if len(nodes) == 1 and all(tree.has_attr(c) for c in cols):
+        node = tree.node_of(next(iter(cols)))
+        mask = np.asarray(
+            op.expr.eval_block(FBlockResolver(node.block), ctx.params), dtype=bool
+        )
+        node.and_selection(mask)
+        return
+    # Attributes span nodes: de-factor and filter block-based.
+    block = defactor(state, ctx)
+    state.flat = dispatch_flat(block, op, ctx)
+
+
+def _factorized_project(state: PipelineState, op: Project, ctx: ExecutionContext) -> None:
+    tree = state.tree
+    assert tree is not None
+    for name, expr in op.items:
+        if isinstance(expr, Col) and expr.name == name and tree.has_attr(name):
+            continue  # pass-through column, nothing to compute
+        cols = expr.columns()
+        nodes = {id(tree.node_of(c)) for c in cols if tree.has_attr(c)}
+        if cols and (len(nodes) != 1 or not all(tree.has_attr(c) for c in cols)):
+            # Computed expression spans nodes: fall back for the whole op.
+            block = defactor(state, ctx)
+            state.flat = project_block(block, op.items, ctx)
+            state.projection = [n for n, _ in op.items]
+            return
+        node = tree.node_of(next(iter(cols))) if cols else tree.root
+        resolver = FBlockResolver(node.block)
+        values = expr.eval_block(resolver, ctx.params)
+        dtype = expr.infer_dtype(resolver.dtype_of, ctx.params)
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            values = np.full(len(node.block), values, dtype=dtype.numpy_dtype)
+        if isinstance(expr, Col) and expr.name != name:
+            values = np.asarray(values, dtype=dtype.numpy_dtype)
+        tree.add_column(node, Column(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype)))
+    state.projection = [name for name, _ in op.items]
+
+
+# -- factorized aggregation (direct computation on the f-Tree) ---------------------
+
+
+def _subtree_counts_all(tree: FTree) -> dict[int, np.ndarray]:
+    counts: dict[int, np.ndarray] = {}
+
+    def compute(node: FTreeNode) -> np.ndarray:
+        result = node.selection.astype(np.int64)
+        for child, index_vector in node.children:
+            child_counts = compute(child)
+            prefix = np.zeros(len(child_counts) + 1, dtype=np.int64)
+            np.cumsum(child_counts, out=prefix[1:])
+            result *= prefix[index_vector.ends] - prefix[index_vector.starts]
+        counts[id(node)] = result
+        return result
+
+    compute(tree.root)
+    return counts
+
+
+def tuples_through(tree: FTree, target: FTreeNode) -> np.ndarray:
+    """Per-entry count of *whole-tree* valid tuples passing through each
+    entry of *target* — the multiplicity weights for factorized aggregation.
+
+    Computed with one bottom-up pass (subtree counts) and one top-down pass
+    (context counts): context(v)[j] sums, over parent entries whose range
+    covers j, the parent's context times the range-counts of all sibling
+    subtrees.  Both passes are NumPy prefix-sum kernels.
+    """
+    counts = _subtree_counts_all(tree)
+
+    def context(node: FTreeNode) -> np.ndarray:
+        if node.parent is None:
+            return np.ones(len(node.block), dtype=np.int64)
+        parent = node.parent
+        index_vector = parent.child_edge(node)
+        contrib = context(parent) * parent.selection.astype(np.int64)
+        for sibling, sibling_iv in parent.children:
+            if sibling is node:
+                continue
+            sibling_counts = counts[id(sibling)]
+            prefix = np.zeros(len(sibling_counts) + 1, dtype=np.int64)
+            np.cumsum(sibling_counts, out=prefix[1:])
+            contrib = contrib * (prefix[sibling_iv.ends] - prefix[sibling_iv.starts])
+        # Scatter each parent range onto the child entries it covers.
+        delta = np.zeros(len(node.block) + 1, dtype=np.int64)
+        np.add.at(delta, index_vector.starts, contrib)
+        np.add.at(delta, index_vector.ends, -contrib)
+        return np.cumsum(delta[:-1])
+
+    return context(target) * counts[id(target)]
+
+
+def _fast_path_node(
+    tree: FTree, group_by: Sequence[str], aggs: Sequence[AggSpec]
+) -> FTreeNode | None:
+    """The single node all aggregation attributes live in, or None."""
+    involved = list(group_by) + [a.arg for a in aggs if a.arg is not None]
+    if not involved:
+        return tree.root
+    if not all(tree.has_attr(c) for c in involved):
+        return None
+    nodes = {id(tree.node_of(c)): tree.node_of(c) for c in involved}
+    if len(nodes) != 1:
+        return None
+    return next(iter(nodes.values()))
+
+
+def aggregate_on_node(
+    tree: FTree, node: FTreeNode, group_by: Sequence[str], aggs: Sequence[AggSpec]
+) -> FlatBlock:
+    """Direct aggregation over one node using tuple-multiplicity weights.
+
+    The group table is built from the node's (compact) entries; aggregate
+    values come from NumPy segment kernels (bincount / minimum.at /
+    maximum.at) over the multiplicity weights — no tuple is enumerated.
+    """
+    weights = tuples_through(tree, node)
+    valid = np.flatnonzero(weights > 0)
+    valid_weights = weights[valid].astype(np.float64)
+
+    # Dense group ids for the valid entries.
+    if group_by:
+        key_lists = [node.block.column(c).values()[valid].tolist() for c in group_by]
+        group_of: dict[tuple[Any, ...], int] = {}
+        group_idx = np.empty(len(valid), dtype=np.int64)
+        for i, key in enumerate(zip(*key_lists) if key_lists else ()):
+            group_idx[i] = group_of.setdefault(key, len(group_of))
+        keys = list(group_of.keys())
+    else:
+        group_idx = np.zeros(len(valid), dtype=np.int64)
+        keys = [()]
+    # With grouping, an empty input produces zero groups; a global
+    # aggregate always produces exactly one row.
+    num_groups = len(keys)
+
+    out = FlatBlock()
+    for position, name in enumerate(group_by):
+        column = node.block.column(name)
+        values = np.asarray([k[position] for k in keys], dtype=column.dtype.numpy_dtype)
+        out.add_array(name, column.dtype, values)
+
+    for agg in aggs:
+        dtype = _weighted_agg_dtype(agg, node)
+        if agg.fn == "count":
+            values = np.bincount(group_idx, weights=valid_weights, minlength=num_groups)
+            out.add_array(agg.out, dtype, values.astype(np.int64))
+            continue
+        assert agg.arg is not None
+        arg = node.block.column(agg.arg).values()[valid]
+        if agg.fn == "sum":
+            sums = np.bincount(
+                group_idx, weights=arg.astype(np.float64) * valid_weights,
+                minlength=num_groups,
+            )
+            out.add_array(agg.out, dtype, sums.astype(dtype.numpy_dtype))
+        elif agg.fn == "avg":
+            sums = np.bincount(
+                group_idx, weights=arg.astype(np.float64) * valid_weights,
+                minlength=num_groups,
+            )
+            counts = np.bincount(group_idx, weights=valid_weights, minlength=num_groups)
+            out.add_array(agg.out, dtype, sums / np.maximum(counts, 1))
+        elif agg.fn in ("min", "max"):
+            if arg.dtype == object:
+                extremes: list[Any] = [None] * num_groups
+                better = (lambda a, b: a < b) if agg.fn == "min" else (lambda a, b: a > b)
+                for g, v in zip(group_idx.tolist(), arg.tolist()):
+                    if extremes[g] is None or better(v, extremes[g]):
+                        extremes[g] = v
+                out.add_array(agg.out, dtype, np.asarray(extremes, dtype=object))
+            else:
+                fill = np.iinfo(np.int64).max if agg.fn == "min" else np.iinfo(np.int64).min
+                extremes = np.full(num_groups, fill, dtype=arg.dtype)
+                ufunc = np.minimum if agg.fn == "min" else np.maximum
+                ufunc.at(extremes, group_idx, arg)
+                out.add_array(agg.out, dtype, extremes)
+        elif agg.fn == "count_distinct":
+            seen: list[set[Any]] = [set() for _ in range(num_groups)]
+            for g, v in zip(group_idx.tolist(), arg.tolist()):
+                seen[g].add(v)
+            out.add_array(
+                agg.out, dtype, np.asarray([len(s) for s in seen], dtype=np.int64)
+            )
+        else:
+            raise ExecutionError(f"unknown aggregate {agg.fn!r}")
+    return out
+
+
+def _weighted_agg_dtype(agg: AggSpec, node: FTreeNode) -> DataType:
+    if agg.fn in ("count", "count_distinct"):
+        return DataType.INT64
+    if agg.fn == "avg":
+        return DataType.FLOAT64
+    assert agg.arg is not None
+    return node.block.column(agg.arg).dtype
+
+
+# -- order-by / limit / fused top-k ------------------------------------------------
+
+
+def _factorized_order_by(state: PipelineState, op: OrderBy, ctx: ExecutionContext) -> None:
+    """Node-local sort keys: defer as an order over one node's entries
+    (the paper's "special column indicating the orders"); keys spanning
+    nodes de-factor immediately."""
+    tree = state.tree
+    assert tree is not None
+    names = [name for name, _ in op.keys]
+    if all(tree.has_attr(n) for n in names):
+        nodes = {id(tree.node_of(n)) for n in names}
+        if len(nodes) == 1:
+            state.pending_order = (tree.node_of(names[0]), list(op.keys))
+            return
+    state.pending_order = None
+    block = defactor(state, ctx)
+    state.flat = block.sort(op.keys)
+
+
+def _entry_order(
+    node: FTreeNode, keys: list[tuple[str, bool]], candidates: np.ndarray
+) -> np.ndarray:
+    """*candidates* (entry indices of *node*) sorted by the node-local keys."""
+    arrays: list[np.ndarray] = []
+    for name, ascending in reversed(keys):
+        column = node.block.column(name)
+        values = column.values()[candidates]
+        arrays.append(sort_key_array(values, column.dtype, ascending))
+    return candidates[np.lexsort(arrays)]
+
+
+def _ordered_limit(state: PipelineState, n: int, ctx: ExecutionContext) -> None:
+    """Consume a deferred node-local Order-By with a Limit.
+
+    The unfused GES_f equivalent of the TopK fusion: order the *entries*
+    of the key-owning node (the paper's "special order column"), pick just
+    enough leading entries to cover n tuples, and materialize only those —
+    the bulk of the f-Tree is never enumerated.
+    """
+    tree = state.tree
+    assert tree is not None and state.pending_order is not None
+    node, keys = state.pending_order
+    state.pending_order = None
+    _node_local_top_k(state, node, keys, n, ctx)
+
+
+def _node_local_top_k(
+    state: PipelineState,
+    node: FTreeNode,
+    keys: list[tuple[str, bool]],
+    n: int,
+    ctx: ExecutionContext,
+) -> None:
+    tree = state.tree
+    assert tree is not None
+    attrs = state.output_attrs()
+    for name, _ in keys:
+        if name not in attrs:
+            attrs.append(name)
+    through = tuples_through(tree, node)
+    candidates = np.flatnonzero(through > 0)
+    valid_order = _entry_order(node, keys, candidates)
+    if len(valid_order):
+        covered = np.cumsum(through[valid_order])
+        needed = int(np.searchsorted(covered, n)) + 1
+        chosen = valid_order[:needed]
+    else:
+        chosen = valid_order
+    saved_selection = node.selection
+    pinned = np.zeros(len(node.block), dtype=bool)
+    pinned[chosen] = True
+    node.selection = saved_selection & pinned
+    try:
+        block = materialize(tree, attrs)
+    finally:
+        node.selection = saved_selection
+    result = block.sort(keys).limit(n)
+    ctx.stats.note_bytes(tree.nbytes + block.nbytes)
+    state.tree = None
+    state.flat = result
+    state.projection = None
+
+
+def _factorized_limit(state: PipelineState, n: int, ctx: ExecutionContext) -> None:
+    """Take the first n tuples via constant-delay enumeration (Lemma 4.4)."""
+    tree = state.tree
+    assert tree is not None
+    attrs = state.output_attrs()
+    rows: list[tuple[Any, ...]] = []
+    if n > 0:
+        for tup in tree.iter_tuples(attrs):
+            rows.append(tup)
+            if len(rows) >= n:
+                break
+    state.tree = None
+    state.flat = _rows_to_block(tree, attrs, rows)
+    state.projection = None
+
+
+class _Desc:
+    """Inverts comparison order so heap-based top-k can sort descending."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and other.value == self.value
+
+
+def _sort_key(keys: Sequence[tuple[str, bool]], attrs: Sequence[str]):
+    positions = [(attrs.index(name), ascending) for name, ascending in keys]
+
+    def key(tup: tuple[Any, ...]) -> tuple[Any, ...]:
+        return tuple(
+            tup[pos] if ascending else _Desc(tup[pos]) for pos, ascending in positions
+        )
+
+    return key
+
+
+def _fused_top_k(state: PipelineState, op: TopK, ctx: ExecutionContext) -> None:
+    """Fused OrderBy+Limit over the f-Tree.
+
+    Node-local sort keys take the vectorized ordered-entry path; keys
+    spanning nodes stream the constant-delay enumeration through a bounded
+    heap — either way, no full flat block is materialized.
+    """
+    tree = state.tree
+    assert tree is not None
+    names = [name for name, _ in op.keys]
+    if all(tree.has_attr(name) for name in names):
+        nodes = {id(tree.node_of(name)) for name in names}
+        if len(nodes) == 1:
+            _node_local_top_k(state, tree.node_of(names[0]), list(op.keys), op.n, ctx)
+            return
+    attrs = state.output_attrs()
+    for name in names:
+        if name not in attrs:
+            attrs = attrs + [name]
+    top = heapq.nsmallest(op.n, tree.iter_tuples(attrs), key=_sort_key(op.keys, attrs))
+    ctx.stats.note_bytes(state.nbytes + _stream_bytes(len(top), len(attrs)))
+    state.tree = None
+    state.flat = _rows_to_block(tree, attrs, top)
+    state.projection = None
+
+
+def _fused_aggregate_top_k(
+    state: PipelineState, op: AggregateTopK, ctx: ExecutionContext
+) -> None:
+    """AggregateProjectTop fusion: factorized- or stream-aggregate, then top-k."""
+    tree = state.tree
+    assert tree is not None
+    node = _fast_path_node(tree, op.group_by, op.aggs)
+    if node is not None:
+        table = aggregate_on_node(tree, node, op.group_by, op.aggs)
+    else:
+        table = _streaming_aggregate(tree, op.group_by, op.aggs, ctx)
+    if op.project_items is not None:
+        table = project_block(table, op.project_items, ctx)
+    result = table.sort(op.keys).limit(op.n)
+    ctx.stats.note_bytes(state.nbytes + table.nbytes)
+    state.tree = None
+    state.flat = result
+    state.projection = None
+
+
+def _streaming_aggregate(
+    tree: FTree, group_by: list[str], aggs: list[AggSpec], ctx: ExecutionContext
+) -> FlatBlock:
+    """Hash aggregation fed by the enumeration, skipping the flat block."""
+    arg_names = [a.arg for a in aggs if a.arg is not None]
+    attrs = list(dict.fromkeys(group_by + arg_names))
+    positions = {name: i for i, name in enumerate(attrs)}
+
+    accumulators: dict[tuple[Any, ...], list[Any]] = {}
+    for tup in tree.iter_tuples(attrs):
+        key = tuple(tup[positions[g]] for g in group_by)
+        acc = accumulators.get(key)
+        if acc is None:
+            acc = [_new_accumulator(a) for a in aggs]
+            accumulators[key] = acc
+        for slot, agg in zip(acc, aggs):
+            _update_accumulator(slot, agg, tup, positions)
+    if not group_by and not accumulators:
+        accumulators[()] = [_new_accumulator(a) for a in aggs]
+    ctx.stats.note_bytes(_stream_bytes(len(accumulators), len(attrs) + len(aggs)))
+
+    out = FlatBlock()
+    keys = list(accumulators.keys())
+    for position, name in enumerate(group_by):
+        dtype = _attr_dtype(tree, name)
+        out.add_array(
+            name,
+            dtype,
+            np.asarray([k[position] for k in keys], dtype=dtype.numpy_dtype),
+        )
+    for i, agg in enumerate(aggs):
+        dtype = (
+            DataType.INT64
+            if agg.fn in ("count", "count_distinct")
+            else DataType.FLOAT64
+            if agg.fn == "avg"
+            else _attr_dtype(tree, agg.arg)  # type: ignore[arg-type]
+        )
+        values = [_finish_accumulator(accumulators[k][i], agg) for k in keys]
+        out.add_array(agg.out, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+    return out
+
+
+def _attr_dtype(tree: FTree, attr: str) -> DataType:
+    return tree.node_of(attr).block.column(attr).dtype
+
+
+def _new_accumulator(agg: AggSpec) -> Any:
+    if agg.fn == "count":
+        return [0]
+    if agg.fn == "count_distinct":
+        return set()
+    if agg.fn == "sum":
+        return [0]
+    if agg.fn in ("min", "max"):
+        return [None]
+    if agg.fn == "avg":
+        return [0, 0]
+    raise ExecutionError(f"unknown aggregate {agg.fn!r}")
+
+
+def _update_accumulator(
+    slot: Any, agg: AggSpec, tup: tuple[Any, ...], positions: Mapping[str, int]
+) -> None:
+    if agg.fn == "count" and agg.arg is None:
+        slot[0] += 1
+        return
+    value = tup[positions[agg.arg]]  # type: ignore[index]
+    if agg.fn == "count":
+        slot[0] += 1
+    elif agg.fn == "count_distinct":
+        slot.add(value)
+    elif agg.fn == "sum":
+        slot[0] += value
+    elif agg.fn == "min":
+        slot[0] = value if slot[0] is None or value < slot[0] else slot[0]
+    elif agg.fn == "max":
+        slot[0] = value if slot[0] is None or value > slot[0] else slot[0]
+    elif agg.fn == "avg":
+        slot[0] += value
+        slot[1] += 1
+
+
+def _finish_accumulator(slot: Any, agg: AggSpec) -> Any:
+    if agg.fn == "count_distinct":
+        return len(slot)
+    if agg.fn in ("count", "sum"):
+        return slot[0]
+    if agg.fn in ("min", "max"):
+        return slot[0] if slot[0] is not None else NULL_INT
+    if agg.fn == "avg":
+        return float(slot[0]) / slot[1] if slot[1] else float("nan")
+    raise ExecutionError(f"unknown aggregate {agg.fn!r}")
+
+
+def _stream_bytes(entries: int, width: int) -> int:
+    """Rough footprint estimate of a streaming container (heap/hash table)."""
+    return entries * (8 * width + 48)
+
+
+def _rows_to_block(tree: FTree, attrs: Sequence[str], rows: list[tuple[Any, ...]]) -> FlatBlock:
+    block = FlatBlock()
+    for i, attr in enumerate(attrs):
+        dtype = _attr_dtype(tree, attr)
+        block.add_array(
+            attr, dtype, np.asarray([r[i] for r in rows], dtype=dtype.numpy_dtype)
+        )
+    return block

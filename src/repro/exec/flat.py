@@ -1,0 +1,331 @@
+"""The flat executor — the GES baseline variant.
+
+Every operator consumes and produces a fully materialized
+:class:`~repro.core.flatblock.FlatBlock`: intermediate results are explicit
+tuples, replicated on every Expand exactly as Figure 4 of the paper shows.
+This is the architecture whose memory blow-up and data movement the
+factorized executor eliminates.
+
+The per-operator functions here are also reused by the factorized executor
+once it has de-factored ("block-based execution continues until
+completion", paper §4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.flatblock import FlatBlock
+from ..errors import ExecutionError
+from ..plan.expressions import Expr
+from ..plan.logical import (
+    Aggregate,
+    AggregateTopK,
+    AggSpec,
+    Distinct,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalOp,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeByRows,
+    NodeScan,
+    OrderBy,
+    ProcedureCall,
+    Project,
+    TopK,
+    VertexExpand,
+    resolve_labels,
+)
+from ..storage.graph import GraphReadView
+from ..types import DataType, NULL_FLOAT, NULL_INT
+from .base import BlockResolver, ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
+from .expand_util import expand_batch
+from .procedures import get_procedure
+
+
+def execute_flat(
+    plan: LogicalPlan,
+    view: GraphReadView,
+    params: Mapping[str, Any] | None = None,
+    stats: ExecStats | None = None,
+) -> QueryResult:
+    """Run *plan* with flat (fully materialized) intermediate results."""
+    ctx = ExecutionContext(view, params, stats)
+    ctx.var_labels = resolve_labels(plan, view.schema)
+    started = time.perf_counter()
+    block: FlatBlock | None = None
+    for op in plan.ops:
+        with OpTimer(ctx, op.op_name) as timer:
+            previous = block
+            block = dispatch_flat(block, op, ctx)
+            # Piping tuples between operators keeps the consumed input and
+            # the produced output resident at once (paper §3).
+            timer.out_bytes = block.nbytes + (previous.nbytes if previous is not None else 0)
+    assert block is not None
+    ctx.stats.total_seconds += time.perf_counter() - started
+    return result_from_flat(block, plan.returns, ctx.stats)
+
+
+def dispatch_flat(block: FlatBlock | None, op: LogicalOp, ctx: ExecutionContext) -> FlatBlock:
+    """Evaluate one logical operator over a flat block."""
+    if isinstance(op, NodeByIdSeek):
+        return _seek(op.var, op.label, op.key, ctx)
+    if isinstance(op, NodeScan):
+        out = FlatBlock()
+        out.add_array(op.var, DataType.INT64, ctx.view.all_rows(op.label))
+        return out
+    if isinstance(op, NodeByRows):
+        rows = np.asarray(ctx.params[op.rows_param], dtype=np.int64)
+        out = FlatBlock()
+        out.add_array(op.var, DataType.INT64, rows)
+        return out
+    if isinstance(op, VertexExpand):
+        seeded = _seek(op.seek_var, op.seek_label, op.seek_key, ctx)
+        ctx.var_labels.setdefault(op.seek_var, op.seek_label)
+        return _expand(seeded, op.expand, ctx)
+    if isinstance(op, ProcedureCall):
+        args = {name: expr.eval_row({}, ctx.params) for name, expr in op.args.items()}
+        return get_procedure(op.name)(ctx.view, args)
+    if block is None:
+        raise ExecutionError(f"{op.op_name} cannot start a pipeline")
+    if isinstance(op, Expand):
+        return _expand(block, op, ctx)
+    if isinstance(op, GetProperty):
+        return _get_property(block, op, ctx)
+    if isinstance(op, Filter):
+        mask = np.asarray(
+            op.expr.eval_block(BlockResolver(block), ctx.params), dtype=bool
+        )
+        return block.filter(mask)
+    if isinstance(op, Project):
+        return project_block(block, op.items, ctx)
+    if isinstance(op, Aggregate):
+        return flat_aggregate(block, op.group_by, op.aggs, ctx)
+    if isinstance(op, OrderBy):
+        return block.sort(op.keys)
+    if isinstance(op, Limit):
+        return block.limit(op.n)
+    if isinstance(op, Distinct):
+        cols = op.cols if op.cols is not None else block.schema
+        return block.distinct(cols).select(cols)
+    if isinstance(op, TopK):
+        return block.sort(op.keys).limit(op.n)
+    if isinstance(op, AggregateTopK):
+        out = flat_aggregate(block, op.group_by, op.aggs, ctx)
+        if op.project_items is not None:
+            out = project_block(out, op.project_items, ctx)
+        return out.sort(op.keys).limit(op.n)
+    raise ExecutionError(f"flat executor cannot handle {op.op_name}")
+
+
+def _seek(var: str, label: str, key: Expr, ctx: ExecutionContext) -> FlatBlock:
+    key_value = key.eval_row({}, ctx.params)
+    row = ctx.view.vertex_by_key(label, int(key_value))
+    out = FlatBlock()
+    rows = np.asarray([row], dtype=np.int64) if row is not None else np.empty(0, np.int64)
+    out.add_array(var, DataType.INT64, rows)
+    return out
+
+
+def _expand(block: FlatBlock, op: Expand, ctx: ExecutionContext) -> FlatBlock:
+    from_label = ctx.label_of(op.from_var)
+    to_label = op.to_label or ctx.var_labels.get(op.to_var)
+    if to_label is None:
+        raise ExecutionError(f"unresolved destination label for {op.to_var!r}")
+    if op.is_multi_hop:
+        return _expand_multi_hop(block, op, ctx, from_label, to_label)
+    from_rows = block.array(op.from_var)
+    batch = expand_batch(ctx.view, op, from_rows, from_label, to_label, ctx.params)
+
+    out = FlatBlock()
+    for name in block.schema:
+        # Flat execution replicates every existing column per neighbor —
+        # exactly the redundancy of Figure 4.
+        out.add_array(name, block.dtype(name), np.repeat(block.array(name), batch.counts))
+    out.add_array(op.to_var, DataType.INT64, batch.neighbors)
+    for name, (dtype, values) in batch.extra.items():
+        out.add_array(name, dtype, values)
+    return out
+
+
+def _expand_multi_hop(
+    block: FlatBlock, op: Expand, ctx: ExecutionContext, from_label: str, to_label: str
+) -> FlatBlock:
+    """Variable-length expansion, the flat way (paper Figure 4).
+
+    A flat executor has no set representation, so ``KNOWS*1..3`` runs as
+    repeated single-hop expansions — every hop replicates the full input
+    tuple per neighbor — followed by a distinct pass that keeps each
+    reached vertex at its minimum depth.  This hop-by-hop materialization
+    is exactly the two-hop blow-up of Figure 4; the factorized executor's
+    per-source BFS is what eliminates it.
+    """
+    if from_label != to_label:
+        raise ExecutionError("multi-hop Expand requires matching endpoint labels")
+    lineage = FlatBlock()
+    for name in block.schema:
+        lineage.add_array(name, block.dtype(name), block.array(name))
+    lineage.add_array("__lineage", DataType.INT64, np.arange(len(block), dtype=np.int64))
+
+    current = lineage
+    current_var = op.from_var
+    hop_results: list[tuple[np.ndarray, np.ndarray]] = []  # (lineage, vertex)
+    for hop in range(1, op.max_hops + 1):
+        hop_var = f"__hop{hop}"
+        step = Expand(current_var, hop_var, op.edge_label, op.direction, to_label=to_label)
+        ctx.var_labels[hop_var] = to_label
+        previous = current
+        current = _expand(current, step, ctx)
+        # Each hop's fully replicated tuple block is a real intermediate.
+        ctx.stats.note_bytes(previous.nbytes + current.nbytes)
+        hop_results.append((current.array("__lineage"), current.array(hop_var)))
+        current_var = hop_var
+
+    starts = block.array(op.from_var)
+    first_hop: dict[tuple[int, int], int] = {}
+    for hop, (lineages, vertices) in enumerate(hop_results, start=1):
+        for lin, vertex in zip(lineages.tolist(), vertices.tolist()):
+            key = (lin, vertex)
+            if key not in first_hop:
+                first_hop[key] = hop
+
+    kept = sorted(
+        (lin, vertex)
+        for (lin, vertex), hop in first_hop.items()
+        if hop >= op.min_hops and vertex != int(starts[lin])
+    )
+    keep_lineage = [lin for lin, _ in kept]
+    keep_vertex = [vertex for _, vertex in kept]
+
+    out = block.take(np.asarray(keep_lineage, dtype=np.int64))
+    result = FlatBlock()
+    for name in out.schema:
+        result.add_array(name, out.dtype(name), out.array(name))
+    result.add_array(op.to_var, DataType.INT64, np.asarray(keep_vertex, dtype=np.int64))
+    return result
+
+
+def _get_property(block: FlatBlock, op: GetProperty, ctx: ExecutionContext) -> FlatBlock:
+    label = ctx.label_of(op.var)
+    dtype = ctx.view.schema.vertex_label(label).property(op.prop).dtype
+    rows = block.array(op.var)
+    values = gather_with_nulls(ctx.view, label, op.prop, dtype, rows)
+    out = FlatBlock()
+    for name in block.schema:
+        # The flat pipeline materializes its output tuples: every column is
+        # rewritten, not shared — the data movement the paper measures.
+        out.add_array(name, block.dtype(name), block.array(name).copy())
+    out.add_array(op.out, dtype, values)
+    return out
+
+
+def gather_with_nulls(
+    view: GraphReadView, label: str, prop: str, dtype: DataType, rows: np.ndarray
+) -> np.ndarray:
+    """Vectorized property gather tolerating NULL row ids (optional matches)."""
+    if len(rows) == 0:
+        return np.empty(0, dtype=dtype.numpy_dtype)
+    null_mask = rows == NULL_INT
+    if not null_mask.any():
+        return view.gather_properties(label, prop, rows)
+    values = np.full(len(rows), dtype.null_value(), dtype=dtype.numpy_dtype)
+    valid = ~null_mask
+    if valid.any():
+        values[valid] = view.gather_properties(label, prop, rows[valid])
+    return values
+
+
+def project_block(
+    block: FlatBlock, items: list[tuple[str, Expr]], ctx: ExecutionContext
+) -> FlatBlock:
+    """Evaluate projection items into a fresh materialized block."""
+    resolver = BlockResolver(block)
+    out = FlatBlock()
+    for name, expr in items:
+        values = expr.eval_block(resolver, ctx.params)
+        dtype = expr.infer_dtype(block.dtype, ctx.params)
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            values = np.full(len(block), values, dtype=dtype.numpy_dtype)
+        out.add_array(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+    return out
+
+
+def flat_aggregate(
+    block: FlatBlock,
+    group_by: list[str],
+    aggs: list[AggSpec],
+    ctx: ExecutionContext,
+) -> FlatBlock:
+    """Hash aggregation over a materialized block (the block-based path)."""
+    if group_by:
+        groups = block.group_indices(group_by)
+        keys = list(groups.keys())
+        index_sets = [groups[k] for k in keys]
+    else:
+        keys = [()]
+        index_sets = [np.arange(len(block), dtype=np.int64)]
+
+    out = FlatBlock()
+    for position, name in enumerate(group_by):
+        dtype = block.dtype(name)
+        values = np.asarray([k[position] for k in keys], dtype=dtype.numpy_dtype)
+        out.add_array(name, dtype, values)
+    for agg in aggs:
+        dtype = _agg_dtype(agg, block)
+        values = np.asarray(
+            [_eval_agg(agg, block, idx) for idx in index_sets], dtype=dtype.numpy_dtype
+        )
+        out.add_array(agg.out, dtype, values)
+    return out
+
+
+def _agg_dtype(agg: AggSpec, block: FlatBlock) -> DataType:
+    if agg.fn in ("count", "count_distinct"):
+        return DataType.INT64
+    if agg.fn == "avg":
+        return DataType.FLOAT64
+    assert agg.arg is not None
+    return block.dtype(agg.arg)
+
+
+def _eval_agg(agg: AggSpec, block: FlatBlock, indices: np.ndarray) -> Any:
+    if agg.fn == "count":
+        if agg.arg is None:
+            return len(indices)
+        values = block.array(agg.arg)[indices]
+        return int((_non_null_mask(values)).sum())
+    assert agg.arg is not None
+    values = block.array(agg.arg)[indices]
+    mask = _non_null_mask(values)
+    values = values[mask]
+    if agg.fn == "count_distinct":
+        return len(set(values.tolist()))
+    if len(values) == 0:
+        if agg.fn in ("sum",):
+            return 0
+        return block.dtype(agg.arg).null_value() if agg.fn in ("min", "max") else NULL_FLOAT
+    if agg.fn == "sum":
+        return values.sum()
+    if agg.fn == "min":
+        return values.min()
+    if agg.fn == "max":
+        return values.max()
+    if agg.fn == "avg":
+        return float(values.mean())
+    raise ExecutionError(f"unknown aggregate {agg.fn!r}")
+
+
+def _non_null_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype == object:
+        return np.fromiter((v is not None for v in values), dtype=bool, count=len(values))
+    if values.dtype.kind == "f":
+        return ~np.isnan(values)
+    if values.dtype.kind == "i":
+        return values != NULL_INT
+    return np.ones(len(values), dtype=bool)

@@ -1,0 +1,184 @@
+"""Stored procedures: complex traversals executed directly on storage.
+
+The paper implements traversal operators such as the ShortestPath of IC13
+"as stored procedures, where intermediate data is hard to factorize"
+(Table 2 note).  Procedures run against the graph read view, produce a flat
+block, and their internal state is *not* charged to the query's
+intermediate-result accounting — matching the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.flatblock import FlatBlock
+from ..errors import ExecutionError
+from ..storage.catalog import AdjacencyKey, Direction
+from ..storage.graph import GraphReadView
+from ..types import DataType
+
+ProcedureFn = Callable[[GraphReadView, dict[str, Any]], FlatBlock]
+
+_REGISTRY: dict[str, ProcedureFn] = {}
+
+
+def register_procedure(name: str) -> Callable[[ProcedureFn], ProcedureFn]:
+    """Decorator registering a stored procedure under *name*."""
+
+    def decorator(fn: ProcedureFn) -> ProcedureFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_procedure(name: str) -> ProcedureFn:
+    """Look up a registered stored procedure by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExecutionError(f"unknown stored procedure {name!r}") from None
+
+
+_KNOWS = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+
+
+def _bfs_levels(
+    view: GraphReadView, start_row: int, goal_row: int | None = None, max_depth: int | None = None
+) -> tuple[dict[int, int], int]:
+    """BFS over KNOWS; returns (row -> depth, depth of goal or -1)."""
+    depths = {start_row: 0}
+    frontier = [start_row]
+    depth = 0
+    while frontier:
+        if goal_row is not None and goal_row in depths:
+            return depths, depths[goal_row]
+        if max_depth is not None and depth >= max_depth:
+            break
+        depth += 1
+        next_frontier: list[int] = []
+        for row in frontier:
+            for neighbor in view.neighbors(_KNOWS, row):
+                neighbor = int(neighbor)
+                if neighbor not in depths:
+                    depths[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    goal_depth = depths.get(goal_row, -1) if goal_row is not None else -1
+    return depths, goal_depth
+
+
+@register_procedure("shortest_path_length")
+def shortest_path_length(view: GraphReadView, args: dict[str, Any]) -> FlatBlock:
+    """IC13: length of the shortest KNOWS path between two persons (-1 if none)."""
+    src = view.vertex_by_key("Person", int(args["person1_id"]))
+    dst = view.vertex_by_key("Person", int(args["person2_id"]))
+    if src is None or dst is None:
+        length = -1
+    elif src == dst:
+        length = 0
+    else:
+        _, length = _bfs_levels(view, src, goal_row=dst)
+    return FlatBlock.from_dict({"length": (DataType.INT64, [length])})
+
+
+def _enumerate_shortest_paths(
+    view: GraphReadView, src: int, dst: int, max_paths: int = 1000
+) -> list[list[int]]:
+    """All shortest KNOWS paths src->dst (row indices), capped at max_paths."""
+    depths, goal_depth = _bfs_levels(view, src, goal_row=dst)
+    if goal_depth < 0:
+        return []
+    if goal_depth == 0:
+        return [[src]]
+    # Walk backwards from dst along strictly-decreasing depth.
+    paths: list[list[int]] = []
+    stack: list[list[int]] = [[dst]]
+    while stack and len(paths) < max_paths:
+        partial = stack.pop()
+        head = partial[-1]
+        head_depth = depths[head]
+        if head_depth == 0:
+            paths.append(list(reversed(partial)))
+            continue
+        for neighbor in view.neighbors(_KNOWS, head):
+            neighbor = int(neighbor)
+            if depths.get(neighbor, -1) == head_depth - 1:
+                stack.append(partial + [neighbor])
+    return paths
+
+
+def _interaction_weight(view: GraphReadView, a: int, b: int) -> float:
+    """LDBC IC14 pair weight: 1.0 per reply-to-post, 0.5 per reply-to-comment
+    between persons *a* and *b* (both directions)."""
+    creator_in = AdjacencyKey("Person", "HAS_CREATOR", "Message", Direction.IN)
+    reply_of = AdjacencyKey("Message", "REPLY_OF", "Message", Direction.OUT)
+    has_creator = AdjacencyKey("Message", "HAS_CREATOR", "Person", Direction.OUT)
+    table = view.store.table("Message")
+    is_post = table.column("isPost").view()
+
+    weight = 0.0
+    for author, other in ((a, b), (b, a)):
+        for message in view.neighbors(creator_in, author):
+            message = int(message)
+            parents = view.neighbors(reply_of, message)
+            if len(parents) == 0:
+                continue  # a post, not a reply
+            parent = int(parents[0])
+            parent_creators = view.neighbors(has_creator, parent)
+            if len(parent_creators) and int(parent_creators[0]) == other:
+                weight += 1.0 if bool(is_post[parent]) else 0.5
+    return weight
+
+
+@register_procedure("weighted_shortest_paths")
+def weighted_shortest_paths(view: GraphReadView, args: dict[str, Any]) -> FlatBlock:
+    """IC14: all shortest KNOWS paths between two persons with trust weights.
+
+    Returns (pathPersonIds, pathWeight) ordered by weight descending; person
+    ids inside a path are joined with ``,`` for a flat representation.
+    """
+    src = view.vertex_by_key("Person", int(args["person1_id"]))
+    dst = view.vertex_by_key("Person", int(args["person2_id"]))
+    if src is None or dst is None:
+        return FlatBlock.from_dict(
+            {"pathPersonIds": (DataType.STRING, []), "pathWeight": (DataType.FLOAT64, [])}
+        )
+    paths = _enumerate_shortest_paths(view, src, dst)
+    pair_cache: dict[tuple[int, int], float] = {}
+
+    def pair_weight(x: int, y: int) -> float:
+        key = (x, y) if x <= y else (y, x)
+        if key not in pair_cache:
+            pair_cache[key] = _interaction_weight(view, key[0], key[1])
+        return pair_cache[key]
+
+    ids: list[str] = []
+    weights: list[float] = []
+    for path in paths:
+        keys = [view.vertex_key("Person", row) for row in path]
+        ids.append(",".join(str(k) for k in keys))
+        weights.append(sum(pair_weight(path[i], path[i + 1]) for i in range(len(path) - 1)))
+    order = sorted(range(len(paths)), key=lambda i: (-weights[i], ids[i]))
+    return FlatBlock.from_dict(
+        {
+            "pathPersonIds": (DataType.STRING, [ids[i] for i in order]),
+            "pathWeight": (DataType.FLOAT64, [weights[i] for i in order]),
+        }
+    )
+
+
+@register_procedure("khop_neighborhood")
+def khop_neighborhood(view: GraphReadView, args: dict[str, Any]) -> FlatBlock:
+    """Utility procedure: rows of all persons within k KNOWS hops (excl. start)."""
+    src = view.vertex_by_key("Person", int(args["person_id"]))
+    k = int(args.get("hops", 2))
+    if src is None:
+        return FlatBlock.from_dict({"person": (DataType.INT64, [])})
+    depths, _ = _bfs_levels(view, src, max_depth=k)
+    rows = sorted(row for row, depth in depths.items() if 0 < depth <= k)
+    return FlatBlock.from_dict(
+        {"person": (DataType.INT64, np.asarray(rows, dtype=np.int64))}
+    )

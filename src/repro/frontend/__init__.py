@@ -1,0 +1,5 @@
+"""Frontend layer: query-language parsers producing the logical IR."""
+
+from .cypher import compile_cypher, parse_cypher
+
+__all__ = ["compile_cypher", "parse_cypher"]

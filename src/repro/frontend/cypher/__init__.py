@@ -1,0 +1,6 @@
+"""Cypher-subset frontend: lexer, parser, binder."""
+
+from .binder import Binder, compile_cypher
+from .parser import parse_cypher
+
+__all__ = ["Binder", "compile_cypher", "parse_cypher"]

@@ -1,0 +1,174 @@
+"""AST for the Cypher subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+class CypherExpr:
+    """Base class for frontend expressions (bound to plan exprs later)."""
+
+    def text(self) -> str:
+        """Canonical source-ish text, used as the default result alias."""
+        raise NotImplementedError
+
+
+@dataclass
+class Var(CypherExpr):
+    name: str
+
+    def text(self) -> str:
+        return self.name
+
+
+@dataclass
+class PropAccess(CypherExpr):
+    var: str
+    prop: str
+
+    def text(self) -> str:
+        return f"{self.var}.{self.prop}"
+
+
+@dataclass
+class IdFunc(CypherExpr):
+    var: str
+
+    def text(self) -> str:
+        return f"id({self.var})"
+
+
+@dataclass
+class Literal(CypherExpr):
+    value: Any
+
+    def text(self) -> str:
+        return repr(self.value)
+
+
+@dataclass
+class ParamRef(CypherExpr):
+    name: str
+
+    def text(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass
+class BinaryOp(CypherExpr):
+    op: str  # = <> < <= > >= + - * / AND OR
+    left: CypherExpr
+    right: CypherExpr
+
+    def text(self) -> str:
+        return f"({self.left.text()} {self.op} {self.right.text()})"
+
+
+@dataclass
+class NotOp(CypherExpr):
+    operand: CypherExpr
+
+    def text(self) -> str:
+        return f"(NOT {self.operand.text()})"
+
+
+@dataclass
+class IsNullOp(CypherExpr):
+    operand: CypherExpr
+    negate: bool = False
+
+    def text(self) -> str:
+        suffix = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"({self.operand.text()} {suffix})"
+
+
+@dataclass
+class AggCall(CypherExpr):
+    fn: str  # count | sum | min | max | avg
+    arg: CypherExpr | None  # None = count(*)
+    distinct: bool = False
+
+    def text(self) -> str:
+        inner = "*" if self.arg is None else self.arg.text()
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.fn}({prefix}{inner})"
+
+
+@dataclass
+class FuncCall(CypherExpr):
+    name: str
+    args: list[CypherExpr]
+
+    def text(self) -> str:
+        return f"{self.name}({', '.join(a.text() for a in self.args)})"
+
+
+# -- patterns & clauses --------------------------------------------------------------
+
+
+@dataclass
+class NodePattern:
+    var: str | None
+    label: str | None
+    properties: dict[str, CypherExpr] = field(default_factory=dict)
+
+
+@dataclass
+class RelPattern:
+    type: str
+    direction: str  # "out" | "in" | "both"
+    min_hops: int = 1
+    max_hops: int = 1
+
+
+@dataclass
+class PathPattern:
+    nodes: list[NodePattern]
+    rels: list[RelPattern]
+
+
+@dataclass
+class MatchClause:
+    path: PathPattern
+    where: CypherExpr | None = None
+    optional: bool = False
+
+
+@dataclass
+class ReturnItem:
+    expr: CypherExpr
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.alias if self.alias is not None else self.expr.text()
+
+
+@dataclass
+class WithClause:
+    items: list[ReturnItem]
+    distinct: bool = False
+    where: CypherExpr | None = None
+
+
+@dataclass
+class OrderItem:
+    expr: CypherExpr
+    ascending: bool = True
+
+
+@dataclass
+class ReturnClause:
+    items: list[ReturnItem]
+    distinct: bool = False
+    order: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass
+class CypherQuery:
+    clauses: list[MatchClause | WithClause | ReturnClause]

@@ -1,0 +1,342 @@
+"""Binder: Cypher AST -> logical plan (the frontend's IR hand-off, §2.1).
+
+The binder resolves variables against the graph schema, turns property
+accesses into GetProperty operators (fetched once per (var, property)),
+recognizes ``id(x) = $param`` seeks, and lowers WITH/RETURN into
+Project/Aggregate/OrderBy/Limit pipelines.
+"""
+
+from __future__ import annotations
+
+from ...errors import CypherUnsupportedError, PlanError
+from ...plan.expressions import (
+    Arith,
+    BoolOp,
+    Cmp,
+    Col,
+    Expr,
+    Func,
+    IsNull,
+    Lit,
+    Not,
+    Param,
+)
+from ...plan.logical import (
+    AggSpec,
+    Aggregate,
+    Distinct,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalOp,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeScan,
+    OrderBy,
+    Project,
+)
+from ...storage.catalog import Direction, GraphSchema
+from . import ast
+from .parser import parse_cypher
+
+
+class Binder:
+    """Stateful lowering of one Cypher query into a logical plan."""
+
+    def __init__(self, schema: GraphSchema) -> None:
+        self.schema = schema
+        self.ops: list[LogicalOp] = []
+        self.var_labels: dict[str, str] = {}
+        self.prop_cols: dict[tuple[str, str], str] = {}
+        self.scope: set[str] = set()
+        self._anon = 0
+
+    # -- public -----------------------------------------------------------
+
+    def bind(self, query: ast.CypherQuery) -> LogicalPlan:
+        returns: list[str] | None = None
+        for clause in query.clauses:
+            if isinstance(clause, ast.MatchClause):
+                self._bind_match(clause)
+            elif isinstance(clause, ast.WithClause):
+                self._bind_with(clause)
+            elif isinstance(clause, ast.ReturnClause):
+                returns = self._bind_return(clause)
+        if not self.ops:
+            raise CypherUnsupportedError("empty query")
+        return LogicalPlan(self.ops, returns=returns)
+
+    # -- MATCH ---------------------------------------------------------------
+
+    def _bind_match(self, clause: ast.MatchClause) -> None:
+        conjuncts = _split_and(clause.where)
+        path = clause.path
+        if clause.optional and len(path.rels) != 1:
+            raise CypherUnsupportedError("OPTIONAL MATCH must be a single relationship")
+
+        # Desugar property maps: (p:Person {id: 3}) adds `p.id = 3`.
+        for node in path.nodes:
+            if node.properties and node.var is None:
+                node.var = self._fresh_var()
+            for key, value in node.properties.items():
+                conjuncts.append(
+                    ast.BinaryOp("=", ast.PropAccess(node.var, key), value)
+                )
+
+        first = path.nodes[0]
+        prev_var = self._bind_start_node(first, conjuncts, clause.optional)
+
+        for rel, node in zip(path.rels, path.nodes[1:]):
+            to_var = node.var or self._fresh_var()
+            if to_var in self.var_labels:
+                raise CypherUnsupportedError(
+                    f"pattern revisits variable {to_var!r} (cycles unsupported)"
+                )
+            direction = Direction.IN if rel.direction == "in" else Direction.OUT
+            expand = Expand(
+                from_var=prev_var,
+                to_var=to_var,
+                edge_label=rel.type,
+                direction=direction,
+                min_hops=rel.min_hops,
+                max_hops=rel.max_hops,
+                to_label=node.label,
+                exclude_start=rel.max_hops > 1,
+                optional=clause.optional,
+            )
+            self.ops.append(expand)
+            label = node.label or self._infer_to_label(expand, prev_var)
+            self.var_labels[to_var] = label
+            self.scope.add(to_var)
+            prev_var = to_var
+
+        for conjunct in conjuncts:
+            self.ops.append(Filter(self._bind_expr(conjunct)))
+
+    def _bind_start_node(
+        self, node: ast.NodePattern, conjuncts: list[ast.CypherExpr], optional: bool
+    ) -> str:
+        var = node.var or self._fresh_var()
+        if var in self.var_labels and var in self.scope:
+            # Continuation MATCH from a variable carried through WITH.
+            return var
+        if optional:
+            raise CypherUnsupportedError("OPTIONAL MATCH must start from a bound variable")
+        if node.label is None:
+            raise CypherUnsupportedError(
+                f"starting node {var!r} needs a label (e.g. (p:Person))"
+            )
+        self.var_labels[var] = node.label
+        self.scope.add(var)
+        primary_key = self.schema.vertex_label(node.label).primary_key
+        seek_key = _extract_seek(conjuncts, var, primary_key)
+        if seek_key is not None:
+            self.ops.append(NodeByIdSeek(var, node.label, self._bind_expr(seek_key)))
+        else:
+            self.ops.append(NodeScan(var, node.label))
+        return var
+
+    def _infer_to_label(self, expand: Expand, from_var: str) -> str:
+        keys = self.schema.expand_keys(
+            expand.edge_label, expand.direction, self.var_labels[from_var]
+        )
+        destinations = {k.dst_label for k in keys}
+        if len(destinations) != 1:
+            raise PlanError(
+                f"ambiguous destination label for -[:{expand.edge_label}]-; add one"
+            )
+        return next(iter(destinations))
+
+    # -- WITH / RETURN ------------------------------------------------------------
+
+    def _bind_with(self, clause: ast.WithClause) -> None:
+        names = self._bind_projection(clause.items)
+        if clause.distinct:
+            self.ops.append(Distinct(cols=names))
+        if clause.where is not None:
+            for conjunct in _split_and(clause.where):
+                self.ops.append(Filter(self._bind_expr(conjunct)))
+
+    def _bind_return(self, clause: ast.ReturnClause) -> list[str]:
+        names = self._bind_projection(clause.items)
+        if clause.distinct:
+            self.ops.append(Distinct(cols=names))
+        if clause.order:
+            keys = []
+            for item in clause.order:
+                keys.append((self._resolve_order_key(item.expr, names), item.ascending))
+            self.ops.append(OrderBy(keys))
+        if clause.limit is not None:
+            self.ops.append(Limit(clause.limit))
+        return names
+
+    def _bind_projection(self, items: list[ast.ReturnItem]) -> list[str]:
+        """Lower projection items; emits Aggregate when aggregates appear."""
+        has_aggs = any(isinstance(i.expr, ast.AggCall) for i in items)
+        if not has_aggs:
+            bound = [(item.name, self._bind_expr(item.expr)) for item in items]
+            self.ops.append(Project(bound))
+        else:
+            group_cols: list[tuple[str, str]] = []  # (output name, source column)
+            aggs: list[AggSpec] = []
+            for item in items:
+                if isinstance(item.expr, ast.AggCall):
+                    aggs.append(self._bind_agg(item.expr, item.name))
+                else:
+                    expr = self._bind_expr(item.expr)
+                    if not isinstance(expr, Col):
+                        raise CypherUnsupportedError(
+                            "grouping keys must be plain columns (use an alias in WITH)"
+                        )
+                    group_cols.append((item.name, expr.name))
+            self.ops.append(Aggregate([src for _, src in group_cols], aggs))
+            projection = [(name, Col(src)) for name, src in group_cols]
+            projection += [(a.out, Col(a.out)) for a in aggs]
+            self.ops.append(Project(projection))
+        self._update_scope(items)
+        return [item.name for item in items]
+
+    def _bind_agg(self, call: ast.AggCall, out: str) -> AggSpec:
+        if call.fn == "collect":
+            raise CypherUnsupportedError("collect() is not supported")
+        if call.arg is None:
+            return AggSpec(out, "count", None)
+        arg_expr = self._bind_expr(call.arg)
+        if not isinstance(arg_expr, Col):
+            raise CypherUnsupportedError("aggregate arguments must be plain columns")
+        fn = "count_distinct" if (call.fn == "count" and call.distinct) else call.fn
+        return AggSpec(out, fn, arg_expr.name)
+
+    def _update_scope(self, items: list[ast.ReturnItem]) -> None:
+        """After a projection, only projected names remain visible."""
+        new_labels: dict[str, str] = {}
+        new_props: dict[tuple[str, str], str] = {}
+        new_scope: set[str] = set()
+        for item in items:
+            name = item.name
+            new_scope.add(name)
+            if isinstance(item.expr, ast.Var) and item.expr.name in self.var_labels:
+                new_labels[name] = self.var_labels[item.expr.name]
+            elif isinstance(item.expr, ast.PropAccess):
+                key = (item.expr.var, item.expr.prop)
+                new_props[key] = name
+        self.var_labels = new_labels
+        self.prop_cols = new_props
+        self.scope = new_scope
+
+    def _resolve_order_key(self, expr: ast.CypherExpr, names: list[str]) -> str:
+        if isinstance(expr, ast.Var) and expr.name in names:
+            return expr.name
+        text = expr.text()
+        if text in names:
+            return text
+        raise CypherUnsupportedError(
+            f"ORDER BY key {text!r} must be one of the returned items"
+        )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _bind_expr(self, expr: ast.CypherExpr) -> Expr:
+        if isinstance(expr, ast.Literal):
+            return Lit(expr.value)
+        if isinstance(expr, ast.ParamRef):
+            return Param(expr.name)
+        if isinstance(expr, ast.Var):
+            if expr.name not in self.scope:
+                raise PlanError(f"unknown variable {expr.name!r}")
+            return Col(expr.name)
+        if isinstance(expr, ast.PropAccess):
+            return Col(self._property_column(expr.var, expr.prop))
+        if isinstance(expr, ast.IdFunc):
+            label = self._label_of(expr.var)
+            pk = self.schema.vertex_label(label).primary_key
+            if pk is None:
+                raise PlanError(f"label {label!r} has no id property")
+            return Col(self._property_column(expr.var, pk, out=f"id({expr.var})"))
+        if isinstance(expr, ast.BinaryOp):
+            return self._bind_binary(expr)
+        if isinstance(expr, ast.NotOp):
+            return Not(self._bind_expr(expr.operand))
+        if isinstance(expr, ast.IsNullOp):
+            return IsNull(self._bind_expr(expr.operand), expr.negate)
+        if isinstance(expr, ast.FuncCall):
+            return Func(expr.name, [self._bind_expr(a) for a in expr.args])
+        if isinstance(expr, ast.AggCall):
+            raise CypherUnsupportedError("aggregates are only allowed as WITH/RETURN items")
+        raise CypherUnsupportedError(f"unsupported expression {expr!r}")
+
+    def _bind_binary(self, expr: ast.BinaryOp) -> Expr:
+        left = self._bind_expr(expr.left)
+        right = self._bind_expr(expr.right)
+        if expr.op == "=":
+            return Cmp("==", left, right)
+        if expr.op == "<>":
+            return Cmp("!=", left, right)
+        if expr.op in ("<", "<=", ">", ">="):
+            return Cmp(expr.op, left, right)
+        if expr.op in ("AND", "OR"):
+            return BoolOp(expr.op.lower(), [left, right])
+        if expr.op in ("+", "-", "*", "/"):
+            return Arith(expr.op, left, right)
+        raise CypherUnsupportedError(f"unsupported operator {expr.op!r}")
+
+    def _label_of(self, var: str) -> str:
+        try:
+            return self.var_labels[var]
+        except KeyError:
+            raise PlanError(f"unknown variable {var!r}") from None
+
+    def _property_column(self, var: str, prop: str, out: str | None = None) -> str:
+        key = (var, prop)
+        if key in self.prop_cols:
+            return self.prop_cols[key]
+        label = self._label_of(var)
+        self.schema.vertex_label(label).property(prop)  # validates
+        name = out or f"{var}.{prop}"
+        self.ops.append(GetProperty(var, prop, name))
+        self.prop_cols[key] = name
+        self.scope.add(name)
+        return name
+
+    def _fresh_var(self) -> str:
+        self._anon += 1
+        return f"_anon{self._anon}"
+
+
+def _split_and(expr: ast.CypherExpr | None) -> list[ast.CypherExpr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _extract_seek(
+    conjuncts: list[ast.CypherExpr], var: str, primary_key: str | None = None
+) -> ast.CypherExpr | None:
+    """Pop an ``id(var) = <value>`` (or ``var.<pk> = <value>``) conjunct,
+    returning the value expression."""
+    for i, conjunct in enumerate(conjuncts):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        for lhs, rhs in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+            if not isinstance(rhs, (ast.Literal, ast.ParamRef)):
+                continue
+            if isinstance(lhs, ast.IdFunc) and lhs.var == var:
+                conjuncts.pop(i)
+                return rhs
+            if (
+                primary_key is not None
+                and isinstance(lhs, ast.PropAccess)
+                and lhs.var == var
+                and lhs.prop == primary_key
+            ):
+                conjuncts.pop(i)
+                return rhs
+    return None
+
+
+def compile_cypher(text: str, schema: GraphSchema) -> LogicalPlan:
+    """Parse and bind a Cypher query against *schema*."""
+    return Binder(schema).bind(parse_cypher(text))

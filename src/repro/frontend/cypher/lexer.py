@@ -1,0 +1,136 @@
+"""Tokenizer for the Cypher subset accepted by the GES frontend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ...errors import CypherSyntaxError
+
+KEYWORDS = {
+    "MATCH",
+    "OPTIONAL",
+    "WHERE",
+    "WITH",
+    "RETURN",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "DISTINCT",
+    "IN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    PARAM = "param"  # $name
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+_TWO_CHAR_SYMBOLS = ("<=", ">=", "<>", "->", "<-", "..")
+_ONE_CHAR_SYMBOLS = "()[]{}:,.;-<>=+*/|"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split query text into tokens; raises CypherSyntaxError on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/" and text[i : i + 2] == "//":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            # Disambiguate a float literal from a range operator (1..2).
+            if i < n and text[i] == "." and text[i : i + 2] != ".." and i + 1 < n and text[i + 1].isdigit():
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+                tokens.append(Token(TokenType.FLOAT, text[start:i], start))
+            else:
+                tokens.append(Token(TokenType.INT, text[start:i], start))
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = i
+            i += 1
+            buf: list[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    buf.append(text[i + 1])
+                    i += 2
+                    continue
+                buf.append(text[i])
+                i += 1
+            if i >= n:
+                raise CypherSyntaxError("unterminated string literal", start)
+            i += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), start))
+            continue
+        if ch == "$":
+            start = i
+            i += 1
+            name_start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            if i == name_start:
+                raise CypherSyntaxError("empty parameter name", start)
+            tokens.append(Token(TokenType.PARAM, text[name_start:i], start))
+            continue
+        if text[i : i + 2] in _TWO_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, text[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, ch, i))
+            i += 1
+            continue
+        raise CypherSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

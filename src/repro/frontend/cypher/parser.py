@@ -1,0 +1,352 @@
+"""Recursive-descent parser for the Cypher subset.
+
+Supported shape (enough for the paper's example queries and the public
+examples; anything else raises :class:`CypherUnsupportedError`):
+
+    [OPTIONAL] MATCH (a:Label)-[:TYPE*1..2]->(b) WHERE <expr>
+    WITH <items> [WHERE <expr>]
+    RETURN [DISTINCT] <items> [ORDER BY <keys>] [LIMIT n]
+"""
+
+from __future__ import annotations
+
+from ...errors import CypherSyntaxError, CypherUnsupportedError
+from .ast import (
+    AggCall,
+    BinaryOp,
+    CypherExpr,
+    CypherQuery,
+    FuncCall,
+    IdFunc,
+    IsNullOp,
+    Literal,
+    MatchClause,
+    NodePattern,
+    NotOp,
+    OrderItem,
+    ParamRef,
+    PathPattern,
+    PropAccess,
+    RelPattern,
+    ReturnClause,
+    ReturnItem,
+    Var,
+    WithClause,
+)
+from .lexer import Token, TokenType, tokenize
+
+_AGG_FNS = {"count", "sum", "min", "max", "avg", "collect"}
+_SCALAR_FNS = {"id", "year", "month", "day", "abs"}
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._advance()
+        if not token.is_symbol(symbol):
+            raise CypherSyntaxError(f"expected {symbol!r}, got {token.value!r}", token.position)
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise CypherSyntaxError(f"expected {word}, got {token.value!r}", token.position)
+        return token
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> CypherQuery:
+        clauses: list[MatchClause | WithClause | ReturnClause] = []
+        while not self._peek().type is TokenType.EOF:
+            token = self._peek()
+            if token.is_keyword("MATCH") or token.is_keyword("OPTIONAL"):
+                clauses.append(self._parse_match())
+            elif token.is_keyword("WITH"):
+                clauses.append(self._parse_with())
+            elif token.is_keyword("RETURN"):
+                clauses.append(self._parse_return())
+                break
+            else:
+                raise CypherSyntaxError(
+                    f"unexpected token {token.value!r}", token.position
+                )
+        if self._accept_symbol(";"):
+            pass
+        trailing = self._peek()
+        if trailing.type is not TokenType.EOF:
+            raise CypherSyntaxError(
+                f"unexpected trailing input {trailing.value!r}", trailing.position
+            )
+        if not clauses or not isinstance(clauses[-1], ReturnClause):
+            raise CypherUnsupportedError("query must end with a RETURN clause")
+        return CypherQuery(clauses)
+
+    # -- clauses ---------------------------------------------------------------
+
+    def _parse_match(self) -> MatchClause:
+        optional = self._accept_keyword("OPTIONAL")
+        self._expect_keyword("MATCH")
+        path = self._parse_path()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        return MatchClause(path, where, optional)
+
+    def _parse_with(self) -> WithClause:
+        self._expect_keyword("WITH")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_items()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        return WithClause(items, distinct, where)
+
+    def _parse_return(self) -> ReturnClause:
+        self._expect_keyword("RETURN")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_items()
+        order: list[OrderItem] = []
+        limit: int | None = None
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            while True:
+                expr = self._parse_expr()
+                ascending = True
+                if self._accept_keyword("DESC"):
+                    ascending = False
+                elif self._accept_keyword("ASC"):
+                    ascending = True
+                order.append(OrderItem(expr, ascending))
+                if not self._accept_symbol(","):
+                    break
+        if self._accept_keyword("LIMIT"):
+            token = self._advance()
+            if token.type is not TokenType.INT:
+                raise CypherSyntaxError("LIMIT expects an integer", token.position)
+            limit = int(token.value)
+        return ReturnClause(items, distinct, order, limit)
+
+    def _parse_items(self) -> list[ReturnItem]:
+        items = [self._parse_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_item())
+        return items
+
+    def _parse_item(self) -> ReturnItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            token = self._advance()
+            if token.type is not TokenType.IDENT:
+                raise CypherSyntaxError("AS expects an identifier", token.position)
+            alias = token.value
+        return ReturnItem(expr, alias)
+
+    # -- patterns ---------------------------------------------------------------
+
+    def _parse_path(self) -> PathPattern:
+        nodes = [self._parse_node()]
+        rels: list[RelPattern] = []
+        while self._peek().is_symbol("-") or self._peek().is_symbol("<-"):
+            rels.append(self._parse_rel())
+            nodes.append(self._parse_node())
+        return PathPattern(nodes, rels)
+
+    def _parse_node(self) -> NodePattern:
+        self._expect_symbol("(")
+        var = None
+        label = None
+        properties: dict[str, CypherExpr] = {}
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            var = self._advance().value
+        if self._accept_symbol(":"):
+            label_token = self._advance()
+            if label_token.type is not TokenType.IDENT:
+                raise CypherSyntaxError("expected label name", label_token.position)
+            label = label_token.value
+        if self._accept_symbol("{"):
+            # Property map sugar: (p:Person {id: 3}) == WHERE p.id = 3.
+            while True:
+                key = self._advance()
+                if key.type is not TokenType.IDENT:
+                    raise CypherSyntaxError("expected property name", key.position)
+                self._expect_symbol(":")
+                properties[key.value] = self._parse_expr()
+                if not self._accept_symbol(","):
+                    break
+            self._expect_symbol("}")
+        self._expect_symbol(")")
+        return NodePattern(var, label, properties)
+
+    def _parse_rel(self) -> RelPattern:
+        direction = "both"
+        if self._accept_symbol("<-"):
+            direction = "in"
+        else:
+            self._expect_symbol("-")
+        self._expect_symbol("[")
+        self._expect_symbol(":")
+        type_token = self._advance()
+        if type_token.type is not TokenType.IDENT:
+            raise CypherSyntaxError("expected relationship type", type_token.position)
+        min_hops = max_hops = 1
+        if self._accept_symbol("*"):
+            lo = self._advance()
+            if lo.type is not TokenType.INT:
+                raise CypherSyntaxError("expected hop count after *", lo.position)
+            min_hops = int(lo.value)
+            self._expect_symbol("..")
+            hi = self._advance()
+            if hi.type is not TokenType.INT:
+                raise CypherSyntaxError("expected upper hop count", hi.position)
+            max_hops = int(hi.value)
+        self._expect_symbol("]")
+        if self._accept_symbol("->"):
+            if direction == "in":
+                raise CypherSyntaxError("conflicting arrow directions", self._peek().position)
+            direction = "out"
+        else:
+            self._expect_symbol("-")
+        return RelPattern(type_token.value, direction, min_hops, max_hops)
+
+    # -- expressions (precedence climbing) -------------------------------------------
+
+    def _parse_expr(self) -> CypherExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> CypherExpr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> CypherExpr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> CypherExpr:
+        if self._accept_keyword("NOT"):
+            return NotOp(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> CypherExpr:
+        left = self._parse_additive()
+        token = self._peek()
+        for op in ("<=", ">=", "<>", "=", "<", ">"):
+            if token.is_symbol(op):
+                self._advance()
+                return BinaryOp(op, left, self._parse_additive())
+        if token.is_keyword("IS"):
+            self._advance()
+            negate = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNullOp(left, negate)
+        return left
+
+    def _parse_additive(self) -> CypherExpr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_symbol("+") or token.is_symbol("-"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> CypherExpr:
+        left = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_symbol("*") or token.is_symbol("/"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_primary())
+            else:
+                return left
+
+    def _parse_primary(self) -> CypherExpr:
+        token = self._advance()
+        if token.type is TokenType.INT:
+            return Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            return Literal(token.value)
+        if token.type is TokenType.PARAM:
+            return ParamRef(token.value)
+        if token.is_keyword("TRUE"):
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            return Literal(False)
+        if token.is_symbol("("):
+            inner = self._parse_expr()
+            self._expect_symbol(")")
+            return inner
+        if token.type is TokenType.IDENT:
+            name = token.value
+            if self._peek().is_symbol("("):
+                return self._parse_call(name, token)
+            if self._peek().is_symbol("."):
+                self._advance()
+                prop = self._advance()
+                if prop.type is not TokenType.IDENT:
+                    raise CypherSyntaxError("expected property name", prop.position)
+                return PropAccess(name, prop.value)
+            return Var(name)
+        raise CypherSyntaxError(f"unexpected token {token.value!r}", token.position)
+
+    def _parse_call(self, name: str, token: Token) -> CypherExpr:
+        self._expect_symbol("(")
+        lowered = name.lower()
+        if lowered in _AGG_FNS:
+            if lowered == "count" and self._accept_symbol("*"):
+                self._expect_symbol(")")
+                return AggCall("count", None)
+            distinct = self._accept_keyword("DISTINCT")
+            arg = self._parse_expr()
+            self._expect_symbol(")")
+            return AggCall(lowered, arg, distinct)
+        if lowered == "id":
+            arg = self._advance()
+            if arg.type is not TokenType.IDENT:
+                raise CypherSyntaxError("id() expects a variable", arg.position)
+            self._expect_symbol(")")
+            return IdFunc(arg.value)
+        if lowered in _SCALAR_FNS:
+            args = [self._parse_expr()]
+            while self._accept_symbol(","):
+                args.append(self._parse_expr())
+            self._expect_symbol(")")
+            return FuncCall(lowered, args)
+        raise CypherUnsupportedError(f"unknown function {name!r}")
+
+
+def parse_cypher(text: str) -> CypherQuery:
+    """Parse query text into the frontend AST."""
+    return Parser(text).parse()

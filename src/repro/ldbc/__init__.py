@@ -1,0 +1,24 @@
+"""LDBC SNB Interactive substrate: schema, datagen, queries, driver."""
+
+from .datagen import SCALE_FACTORS, ScaleFactor, SnbDataset, generate
+from .driver import BenchmarkDriver, DriverReport
+from .params import INTERLEAVES, ParameterGenerator
+from .queries import REGISTRY, queries_of
+from .schema import build_snb_schema
+from .validation import ValidationReport, validate
+
+__all__ = [
+    "BenchmarkDriver",
+    "DriverReport",
+    "INTERLEAVES",
+    "ParameterGenerator",
+    "REGISTRY",
+    "SCALE_FACTORS",
+    "ScaleFactor",
+    "SnbDataset",
+    "ValidationReport",
+    "build_snb_schema",
+    "generate",
+    "validate",
+    "queries_of",
+]

@@ -1,0 +1,759 @@
+"""Deterministic, scaled-down LDBC SNB data generator.
+
+The paper generates SF1–SF300 graphs (4M–970M vertices) with the official
+Hadoop Datagen; that is far beyond a pure-Python testbed, so this module
+generates *mini scale factors* that keep the SF names and — crucially — the
+structural properties the factorized executor's wins depend on:
+
+* skewed KNOWS degrees (lognormal) with community structure (same-city
+  bias), so multi-hop expansions fan out the way SNB's do;
+* person → forum → post → comment → like activity cascades with reply
+  trees, so the IC queries traverse the same shapes;
+* dictionary-based properties (first names with collisions for IC1, tag /
+  tag-class hierarchies for IC4/6/12, place hierarchy for IC3/11);
+* a three-year activity window with dates correlated along reply chains.
+
+Everything is driven by one seeded NumPy generator: the same (scale, seed)
+always produces the identical graph, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..storage.graph import GraphStore
+from ..types import date_millis, timestamp_millis
+from .schema import (
+    FORUM,
+    ID_BASE,
+    MESSAGE,
+    ORGANISATION,
+    PERSON,
+    PLACE,
+    TAG,
+    TAG_CLASS,
+    build_snb_schema,
+)
+
+SIM_START = timestamp_millis(2010, 1, 1)
+SIM_END = timestamp_millis(2013, 1, 1)
+SIM_SPAN = SIM_END - SIM_START
+
+
+@dataclass(frozen=True)
+class ScaleFactor:
+    """Size parameters of one mini scale factor."""
+
+    name: str
+    persons: int
+    avg_degree: float = 7.0
+    forums_per_person: float = 0.7
+    posts_per_forum: float = 6.0
+    comments_per_post: float = 1.8
+    likes_per_message: float = 1.0
+
+
+#: Mini scale factors: the paper's SF names with ~1000x fewer persons but
+#: the same relative ordering and densification trend.
+SCALE_FACTORS: dict[str, ScaleFactor] = {
+    "SF1": ScaleFactor("SF1", persons=150, avg_degree=6.0),
+    "SF10": ScaleFactor(
+        "SF10", persons=450, avg_degree=8.0, posts_per_forum=7.0, comments_per_post=2.0
+    ),
+    "SF30": ScaleFactor(
+        "SF30", persons=850, avg_degree=9.0, posts_per_forum=7.5, comments_per_post=2.2
+    ),
+    "SF100": ScaleFactor(
+        "SF100", persons=1_600, avg_degree=10.0, posts_per_forum=8.0, comments_per_post=2.4
+    ),
+    "SF300": ScaleFactor(
+        "SF300", persons=2_800, avg_degree=12.0, posts_per_forum=8.5, comments_per_post=2.6
+    ),
+}
+
+_CONTINENTS = ["Europe", "Asia", "Africa", "North_America", "South_America", "Oceania"]
+_COUNTRIES = {
+    "Europe": ["France", "Germany", "Spain", "Italy", "Poland", "Sweden"],
+    "Asia": ["China", "India", "Japan", "Vietnam", "Thailand"],
+    "Africa": ["Egypt", "Nigeria", "Kenya", "Morocco"],
+    "North_America": ["United_States", "Canada", "Mexico"],
+    "South_America": ["Brazil", "Argentina", "Chile"],
+    "Oceania": ["Australia", "New_Zealand"],
+}
+_CITIES_PER_COUNTRY = 3
+
+_FIRST_NAMES = [
+    "Jan", "Maria", "Chen", "Rahul", "Jose", "Anna", "Wei", "Yang", "Ali", "Sara",
+    "Ivan", "Olga", "Ken", "Yuki", "Omar", "Fatima", "Hugo", "Emma", "Luis", "Carmen",
+    "Paul", "Julia", "Amit", "Priya", "Lars", "Karin", "Pedro", "Lucia", "Abdul", "Mehmet",
+]
+_LAST_NAMES = [
+    "Smith", "Muller", "Zhang", "Kumar", "Garcia", "Silva", "Kowalski", "Tanaka",
+    "Hassan", "Okafor", "Nguyen", "Petrov", "Svensson", "Rossi", "Dubois", "Lopez",
+    "Yamamoto", "Chen", "Singh", "Ahmed", "Brown", "Novak", "Costa", "Kim", "Sato",
+]
+_BROWSERS = ["Firefox", "Chrome", "Safari", "Internet Explorer", "Opera"]
+
+_TAG_CLASSES = {
+    "Thing": None,
+    "Agent": "Thing",
+    "Person": "Agent",
+    "Organisation": "Agent",
+    "CreativeWork": "Thing",
+    "MusicalWork": "CreativeWork",
+    "WrittenWork": "CreativeWork",
+    "Place": "Thing",
+}
+_TAGS_PER_CLASS = {
+    "Person": ["Napoleon", "Einstein", "Mozart_the_person", "Gandhi", "Cleopatra"],
+    "Organisation": ["United_Nations", "NATO", "Red_Cross", "UNESCO"],
+    "MusicalWork": ["Symphony_No_9", "Bohemian_Rhapsody", "The_Four_Seasons", "Imagine"],
+    "WrittenWork": ["Don_Quixote", "War_and_Peace", "Hamlet", "The_Odyssey", "Faust"],
+    "Place": ["Great_Wall", "Eiffel_Tower", "Amazon_River", "Sahara"],
+    "CreativeWork": ["Mona_Lisa", "Starry_Night"],
+    "Agent": ["Anonymous_Collective"],
+    "Thing": ["Zeitgeist"],
+}
+
+_UNIVERSITIES = [
+    "MIT", "Tsinghua", "ETH", "Oxford", "Stanford", "IIT_Delhi", "Sorbonne",
+    "TU_Munich", "Tokyo_University", "KAIST", "Politecnico", "Uppsala",
+]
+_COMPANIES = [
+    "Acme_Corp", "Globex", "Initech", "Umbrella", "Stark_Industries", "Wayne_Enterprises",
+    "Tyrell", "Cyberdyne", "Hooli", "Pied_Piper", "Wonka_Industries", "Soylent",
+    "Oceanic_Air", "Duff_Brewing",
+]
+
+
+@dataclass
+class DatasetInfo:
+    """Summary handed to parameter generation and the benchmark tables."""
+
+    scale: ScaleFactor
+    seed: int
+    num_persons: int = 0
+    num_forums: int = 0
+    num_messages: int = 0
+    num_posts: int = 0
+    num_comments: int = 0
+    num_knows_pairs: int = 0
+    country_names: list[str] = field(default_factory=list)
+    tag_names: list[str] = field(default_factory=list)
+    tag_class_names: list[str] = field(default_factory=list)
+    first_names: list[str] = field(default_factory=list)
+    sim_start: int = SIM_START
+    sim_end: int = SIM_END
+
+    @property
+    def num_vertices(self) -> int:
+        return self.num_persons + self.num_forums + self.num_messages
+
+
+@dataclass
+class SnbDataset:
+    """A loaded SNB graph plus its generation metadata."""
+
+    store: GraphStore
+    info: DatasetInfo
+
+
+def resolve_scale(scale: str | ScaleFactor) -> ScaleFactor:
+    """Accept a scale name or an explicit ScaleFactor."""
+    if isinstance(scale, ScaleFactor):
+        return scale
+    try:
+        return SCALE_FACTORS[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale factor {scale!r}; known: {sorted(SCALE_FACTORS)}"
+        ) from None
+
+
+def generate(scale: str | ScaleFactor = "SF1", seed: int = 42) -> SnbDataset:
+    """Generate and bulk-load one mini-SNB graph."""
+    sf = resolve_scale(scale)
+    rng = np.random.default_rng(seed)
+    store = GraphStore(build_snb_schema())
+    info = DatasetInfo(scale=sf, seed=seed)
+
+    places = _load_places(store)
+    tags, tag_classes = _load_tags(store)
+    organisations = _load_organisations(store, rng, places)
+    persons = _load_persons(store, rng, sf, places)
+    knows = _load_knows(store, rng, sf, persons)
+    _load_person_tags_and_orgs(store, rng, persons, tags, organisations)
+    forums = _load_forums(store, rng, sf, persons, knows, tags)
+    messages = _load_messages(store, rng, sf, persons, knows, forums, tags, places)
+    _load_likes(store, rng, sf, persons, knows, messages)
+
+    info.num_persons = len(persons["id"])
+    info.num_forums = len(forums["id"])
+    info.num_messages = len(messages["id"])
+    info.num_posts = int(np.sum(messages["isPost"]))
+    info.num_comments = info.num_messages - info.num_posts
+    info.num_knows_pairs = len(knows["src"]) // 2
+    info.country_names = list(places["country_names"])
+    info.tag_names = [t for t in tags["name"]]
+    info.tag_class_names = list(_TAG_CLASSES)
+    info.first_names = list(_FIRST_NAMES)
+    return SnbDataset(store, info)
+
+
+# -- places -------------------------------------------------------------------------
+
+
+def _load_places(store: GraphStore) -> dict[str, Any]:
+    names: list[str] = []
+    types: list[str] = []
+    part_of_src: list[int] = []
+    part_of_dst: list[int] = []
+
+    continent_rows: dict[str, int] = {}
+    for continent in _CONTINENTS:
+        continent_rows[continent] = len(names)
+        names.append(continent)
+        types.append("continent")
+
+    country_rows: dict[str, int] = {}
+    for continent, countries in _COUNTRIES.items():
+        for country in countries:
+            row = len(names)
+            country_rows[country] = row
+            names.append(country)
+            types.append("country")
+            part_of_src.append(row)
+            part_of_dst.append(continent_rows[continent])
+
+    city_rows: list[int] = []
+    city_country: list[int] = []
+    for country, country_row in country_rows.items():
+        for i in range(_CITIES_PER_COUNTRY):
+            row = len(names)
+            names.append(f"{country}_City_{i}")
+            types.append("city")
+            part_of_src.append(row)
+            part_of_dst.append(country_row)
+            city_rows.append(row)
+            city_country.append(country_row)
+
+    store.bulk_load_vertices(
+        PLACE,
+        {
+            "id": np.arange(len(names)) + ID_BASE[PLACE],
+            "name": np.asarray(names, dtype=object),
+            "type": np.asarray(types, dtype=object),
+        },
+    )
+    store.bulk_load_edges(
+        "IS_PART_OF",
+        PLACE,
+        PLACE,
+        np.asarray(part_of_src),
+        np.asarray(part_of_dst),
+    )
+    return {
+        "city_rows": np.asarray(city_rows),
+        "city_country": np.asarray(city_country),
+        "country_rows": country_rows,
+        "country_names": list(country_rows),
+    }
+
+
+# -- tags ---------------------------------------------------------------------------
+
+
+def _load_tags(store: GraphStore) -> tuple[dict[str, Any], dict[str, Any]]:
+    class_names = list(_TAG_CLASSES)
+    class_row = {name: i for i, name in enumerate(class_names)}
+    store.bulk_load_vertices(
+        TAG_CLASS,
+        {
+            "id": np.arange(len(class_names)) + ID_BASE[TAG_CLASS],
+            "name": np.asarray(class_names, dtype=object),
+        },
+    )
+    subclass_src = []
+    subclass_dst = []
+    for name, parent in _TAG_CLASSES.items():
+        if parent is not None:
+            subclass_src.append(class_row[name])
+            subclass_dst.append(class_row[parent])
+    store.bulk_load_edges(
+        "IS_SUBCLASS_OF",
+        TAG_CLASS,
+        TAG_CLASS,
+        np.asarray(subclass_src),
+        np.asarray(subclass_dst),
+    )
+
+    tag_names: list[str] = []
+    tag_class_of: list[int] = []
+    for class_name, tags in _TAGS_PER_CLASS.items():
+        for tag in tags:
+            tag_names.append(tag)
+            tag_class_of.append(class_row[class_name])
+    store.bulk_load_vertices(
+        TAG,
+        {
+            "id": np.arange(len(tag_names)) + ID_BASE[TAG],
+            "name": np.asarray(tag_names, dtype=object),
+        },
+    )
+    store.bulk_load_edges(
+        "HAS_TYPE",
+        TAG,
+        TAG_CLASS,
+        np.arange(len(tag_names)),
+        np.asarray(tag_class_of),
+    )
+    return (
+        {"name": tag_names, "rows": np.arange(len(tag_names))},
+        {"name": class_names, "row": class_row},
+    )
+
+
+# -- organisations --------------------------------------------------------------------
+
+
+def _load_organisations(
+    store: GraphStore, rng: np.random.Generator, places: dict[str, Any]
+) -> dict[str, Any]:
+    names = _UNIVERSITIES + _COMPANIES
+    types = ["university"] * len(_UNIVERSITIES) + ["company"] * len(_COMPANIES)
+    store.bulk_load_vertices(
+        ORGANISATION,
+        {
+            "id": np.arange(len(names)) + ID_BASE[ORGANISATION],
+            "name": np.asarray(names, dtype=object),
+            "type": np.asarray(types, dtype=object),
+        },
+    )
+    # Universities sit in cities; companies in countries (SNB convention).
+    org_loc_src = np.arange(len(names))
+    uni_cities = rng.choice(places["city_rows"], size=len(_UNIVERSITIES))
+    country_rows = np.asarray(list(places["country_rows"].values()))
+    company_countries = rng.choice(country_rows, size=len(_COMPANIES))
+    org_loc_dst = np.concatenate([uni_cities, company_countries])
+    store.bulk_load_edges(
+        "IS_LOCATED_IN", ORGANISATION, PLACE, org_loc_src, org_loc_dst
+    )
+    return {
+        "university_rows": np.arange(len(_UNIVERSITIES)),
+        "company_rows": np.arange(len(_UNIVERSITIES), len(names)),
+        "company_country": dict(
+            zip(range(len(_UNIVERSITIES), len(names)), company_countries.tolist())
+        ),
+    }
+
+
+# -- persons ----------------------------------------------------------------------------
+
+
+def _load_persons(
+    store: GraphStore, rng: np.random.Generator, sf: ScaleFactor, places: dict[str, Any]
+) -> dict[str, Any]:
+    n = sf.persons
+    first = rng.choice(np.asarray(_FIRST_NAMES, dtype=object), size=n)
+    last = rng.choice(np.asarray(_LAST_NAMES, dtype=object), size=n)
+    gender = rng.choice(np.asarray(["male", "female"], dtype=object), size=n)
+    birthday = np.asarray(
+        [
+            date_millis(int(y), int(m), int(d))
+            for y, m, d in zip(
+                rng.integers(1955, 2000, size=n),
+                rng.integers(1, 13, size=n),
+                rng.integers(1, 29, size=n),
+            )
+        ]
+    )
+    creation = SIM_START + rng.integers(0, SIM_SPAN // 2, size=n)
+    ip = np.asarray(
+        [f"{a}.{b}.{c}.{d}" for a, b, c, d in rng.integers(1, 255, size=(n, 4))],
+        dtype=object,
+    )
+    browser = rng.choice(np.asarray(_BROWSERS, dtype=object), size=n)
+    # Zipf-ish city popularity.
+    city_rows = places["city_rows"]
+    weights = 1.0 / np.arange(1, len(city_rows) + 1)
+    weights /= weights.sum()
+    person_city = rng.choice(city_rows, size=n, p=weights)
+
+    store.bulk_load_vertices(
+        PERSON,
+        {
+            "id": np.arange(n) + ID_BASE[PERSON],
+            "firstName": first,
+            "lastName": last,
+            "gender": gender,
+            "birthday": birthday,
+            "creationDate": creation,
+            "locationIP": ip,
+            "browserUsed": browser,
+        },
+    )
+    store.bulk_load_edges(
+        "IS_LOCATED_IN", PERSON, PLACE, np.arange(n), person_city
+    )
+    return {
+        "id": np.arange(n) + ID_BASE[PERSON],
+        "city": person_city,
+        "creationDate": creation,
+    }
+
+
+def _load_knows(
+    store: GraphStore, rng: np.random.Generator, sf: ScaleFactor, persons: dict[str, Any]
+) -> dict[str, Any]:
+    """Symmetric KNOWS edges: lognormal degrees with same-city bias."""
+    n = sf.persons
+    target = np.clip(
+        rng.lognormal(mean=np.log(sf.avg_degree), sigma=0.7, size=n), 1, n / 4
+    ).astype(int)
+    city = persons["city"]
+    by_city: dict[int, list[int]] = {}
+    for row, c in enumerate(city):
+        by_city.setdefault(int(c), []).append(row)
+
+    pairs: set[tuple[int, int]] = set()
+    for row in range(n):
+        wanted = int(target[row])
+        same_city = by_city.get(int(city[row]), [])
+        for _ in range(wanted):
+            if same_city and rng.random() < 0.4 and len(same_city) > 1:
+                other = int(same_city[rng.integers(0, len(same_city))])
+            else:
+                other = int(rng.integers(0, n))
+            if other == row:
+                continue
+            pairs.add((min(row, other), max(row, other)))
+
+    src = np.asarray([p[0] for p in pairs] + [p[1] for p in pairs])
+    dst = np.asarray([p[1] for p in pairs] + [p[0] for p in pairs])
+    creation = np.maximum(
+        persons["creationDate"][src], persons["creationDate"][dst]
+    ) + rng.integers(0, SIM_SPAN // 4, size=len(src))
+    # Mirror pairs share one creationDate.
+    half = len(pairs)
+    creation[half:] = creation[:half]
+    store.bulk_load_edges(
+        "KNOWS", PERSON, PERSON, src, dst, {"creationDate": creation}
+    )
+    friends: dict[int, list[int]] = {}
+    for a, b in pairs:
+        friends.setdefault(a, []).append(b)
+        friends.setdefault(b, []).append(a)
+    return {"src": src, "dst": dst, "friends": friends}
+
+
+def _load_person_tags_and_orgs(
+    store: GraphStore,
+    rng: np.random.Generator,
+    persons: dict[str, Any],
+    tags: dict[str, Any],
+    organisations: dict[str, Any],
+) -> None:
+    n = len(persons["id"])
+    interest_src: list[int] = []
+    interest_dst: list[int] = []
+    study_src: list[int] = []
+    study_dst: list[int] = []
+    study_year: list[int] = []
+    work_src: list[int] = []
+    work_dst: list[int] = []
+    work_from: list[int] = []
+    num_tags = len(tags["rows"])
+    for row in range(n):
+        for tag in rng.choice(num_tags, size=int(rng.integers(3, 8)), replace=False):
+            interest_src.append(row)
+            interest_dst.append(int(tag))
+        if rng.random() < 0.7:
+            study_src.append(row)
+            study_dst.append(int(rng.choice(organisations["university_rows"])))
+            study_year.append(int(rng.integers(1995, 2013)))
+        num_jobs = int(rng.integers(0, 3))
+        if num_jobs:
+            for company in rng.choice(
+                organisations["company_rows"], size=num_jobs, replace=False
+            ):
+                work_src.append(row)
+                work_dst.append(int(company))
+                work_from.append(int(rng.integers(1995, 2013)))
+    store.bulk_load_edges(
+        "HAS_INTEREST", PERSON, TAG, np.asarray(interest_src), np.asarray(interest_dst)
+    )
+    store.bulk_load_edges(
+        "STUDY_AT",
+        PERSON,
+        ORGANISATION,
+        np.asarray(study_src),
+        np.asarray(study_dst),
+        {"classYear": np.asarray(study_year)},
+    )
+    store.bulk_load_edges(
+        "WORK_AT",
+        PERSON,
+        ORGANISATION,
+        np.asarray(work_src),
+        np.asarray(work_dst),
+        {"workFrom": np.asarray(work_from)},
+    )
+
+
+# -- forums ------------------------------------------------------------------------------
+
+
+def _load_forums(
+    store: GraphStore,
+    rng: np.random.Generator,
+    sf: ScaleFactor,
+    persons: dict[str, Any],
+    knows: dict[str, Any],
+    tags: dict[str, Any],
+) -> dict[str, Any]:
+    n_persons = len(persons["id"])
+    n_forums = max(4, int(n_persons * sf.forums_per_person))
+    moderators = rng.integers(0, n_persons, size=n_forums)
+    creation = np.maximum(
+        persons["creationDate"][moderators],
+        SIM_START + rng.integers(0, SIM_SPAN // 2, size=n_forums),
+    )
+    titles = np.asarray(
+        [f"Group_{i}_of_{int(m)}" for i, m in enumerate(moderators)], dtype=object
+    )
+    store.bulk_load_vertices(
+        FORUM,
+        {
+            "id": np.arange(n_forums) + ID_BASE[FORUM],
+            "title": titles,
+            "creationDate": creation,
+        },
+    )
+    store.bulk_load_edges(
+        "HAS_MODERATOR", FORUM, PERSON, np.arange(n_forums), moderators
+    )
+
+    member_src: list[int] = []
+    member_dst: list[int] = []
+    join_dates: list[int] = []
+    members_of: list[list[int]] = []
+    friends = knows["friends"]
+    for forum in range(n_forums):
+        moderator = int(moderators[forum])
+        candidates = list(friends.get(moderator, []))
+        rng.shuffle(candidates)
+        extra = rng.integers(0, n_persons, size=max(2, int(rng.integers(2, 10))))
+        members = [moderator] + candidates[: int(rng.integers(1, 12))] + [
+            int(x) for x in extra
+        ]
+        unique_members = list(dict.fromkeys(members))
+        members_of.append(unique_members)
+        for member in unique_members:
+            member_src.append(forum)
+            member_dst.append(member)
+            join_dates.append(
+                int(creation[forum] + rng.integers(0, max(SIM_END - creation[forum], 1)))
+            )
+    store.bulk_load_edges(
+        "HAS_MEMBER",
+        FORUM,
+        PERSON,
+        np.asarray(member_src),
+        np.asarray(member_dst),
+        {"joinDate": np.asarray(join_dates)},
+    )
+
+    forum_tag_src: list[int] = []
+    forum_tag_dst: list[int] = []
+    forum_tags: list[list[int]] = []
+    num_tags = len(tags["rows"])
+    for forum in range(n_forums):
+        chosen = rng.choice(num_tags, size=int(rng.integers(1, 4)), replace=False)
+        forum_tags.append([int(t) for t in chosen])
+        for tag in chosen:
+            forum_tag_src.append(forum)
+            forum_tag_dst.append(int(tag))
+    store.bulk_load_edges(
+        "HAS_TAG", FORUM, TAG, np.asarray(forum_tag_src), np.asarray(forum_tag_dst)
+    )
+    return {
+        "id": np.arange(n_forums) + ID_BASE[FORUM],
+        "creationDate": creation,
+        "members": members_of,
+        "tags": forum_tags,
+    }
+
+
+# -- messages -------------------------------------------------------------------------------
+
+
+def _load_messages(
+    store: GraphStore,
+    rng: np.random.Generator,
+    sf: ScaleFactor,
+    persons: dict[str, Any],
+    knows: dict[str, Any],
+    forums: dict[str, Any],
+    tags: dict[str, Any],
+    places: dict[str, Any],
+) -> dict[str, Any]:
+    n_persons = len(persons["id"])
+    n_forums = len(forums["id"])
+    country_rows = np.asarray(list(places["country_rows"].values()))
+    friends = knows["friends"]
+    num_tags = len(tags["rows"])
+
+    creation: list[int] = []
+    length: list[int] = []
+    is_post: list[bool] = []
+    creator: list[int] = []
+    located: list[int] = []
+    container_src: list[int] = []
+    container_dst: list[int] = []
+    reply_src: list[int] = []
+    reply_dst: list[int] = []
+    tag_src: list[int] = []
+    tag_dst: list[int] = []
+
+    def add_tags(message: int, candidates: list[int], max_tags: int) -> None:
+        if not candidates or max_tags <= 0:
+            return
+        k = int(rng.integers(0, max_tags + 1))
+        if k == 0:
+            return
+        chosen = rng.choice(candidates, size=min(k, len(candidates)), replace=False)
+        for tag in chosen:
+            tag_src.append(message)
+            tag_dst.append(int(tag))
+
+    # Posts, per forum.
+    post_rows_by_forum: list[list[int]] = []
+    for forum in range(n_forums):
+        members = forums["members"][forum]
+        count = int(rng.poisson(sf.posts_per_forum))
+        rows: list[int] = []
+        for _ in range(count):
+            row = len(creation)
+            author = int(members[rng.integers(0, len(members))])
+            base = max(int(forums["creationDate"][forum]), SIM_START)
+            creation.append(int(base + rng.integers(0, max(SIM_END - base, 1))))
+            length.append(int(np.clip(rng.lognormal(4.3, 0.8), 10, 2000)))
+            is_post.append(True)
+            creator.append(author)
+            located.append(int(rng.choice(country_rows)))
+            container_src.append(forum)
+            container_dst.append(row)
+            add_tags(row, forums["tags"][forum], 2)
+            rows.append(row)
+        post_rows_by_forum.append(rows)
+
+    num_posts = len(creation)
+    # Comments: reply trees hanging off posts (and other comments).
+    num_comments = int(num_posts * sf.comments_per_post)
+    for _ in range(num_comments):
+        if not creation:
+            break
+        row = len(creation)
+        # Prefer replying to recent messages.
+        parent = int(rng.integers(max(0, row - 200), row))
+        parent_author = creator[parent]
+        friend_pool = friends.get(parent_author, [])
+        if friend_pool and rng.random() < 0.6:
+            author = int(friend_pool[rng.integers(0, len(friend_pool))])
+        else:
+            author = int(rng.integers(0, n_persons))
+        creation.append(int(creation[parent] + rng.integers(1, SIM_SPAN // 20)))
+        length.append(int(np.clip(rng.lognormal(3.6, 0.9), 5, 1500)))
+        is_post.append(False)
+        creator.append(author)
+        located.append(int(rng.choice(country_rows)))
+        reply_src.append(row)
+        reply_dst.append(parent)
+        add_tags(row, list(range(num_tags)), 1)
+
+    n_messages = len(creation)
+    # Content carries its declared length (capped) so string payloads are
+    # realistic in the memory accounting.
+    content = np.asarray(
+        [
+            f"{'post' if p else 'reply'}_{i}_" + "x" * min(int(length[i]), 140)
+            for i, p in enumerate(is_post)
+        ],
+        dtype=object,
+    )
+    browser = rng.choice(np.asarray(_BROWSERS, dtype=object), size=n_messages)
+    store.bulk_load_vertices(
+        MESSAGE,
+        {
+            "id": np.arange(n_messages) + ID_BASE[MESSAGE],
+            "creationDate": np.asarray(creation),
+            "content": content,
+            "length": np.asarray(length),
+            "isPost": np.asarray(is_post),
+            "browserUsed": browser,
+        },
+    )
+    store.bulk_load_edges(
+        "HAS_CREATOR", MESSAGE, PERSON, np.arange(n_messages), np.asarray(creator)
+    )
+    store.bulk_load_edges(
+        "IS_LOCATED_IN", MESSAGE, PLACE, np.arange(n_messages), np.asarray(located)
+    )
+    store.bulk_load_edges(
+        "CONTAINER_OF", FORUM, MESSAGE, np.asarray(container_src), np.asarray(container_dst)
+    )
+    store.bulk_load_edges(
+        "REPLY_OF", MESSAGE, MESSAGE, np.asarray(reply_src), np.asarray(reply_dst)
+    )
+    store.bulk_load_edges("HAS_TAG", MESSAGE, TAG, np.asarray(tag_src), np.asarray(tag_dst))
+    return {
+        "id": np.arange(n_messages) + ID_BASE[MESSAGE],
+        "creationDate": np.asarray(creation),
+        "creator": np.asarray(creator),
+        "isPost": np.asarray(is_post),
+    }
+
+
+def _load_likes(
+    store: GraphStore,
+    rng: np.random.Generator,
+    sf: ScaleFactor,
+    persons: dict[str, Any],
+    knows: dict[str, Any],
+    messages: dict[str, Any],
+) -> None:
+    n_persons = len(persons["id"])
+    friends = knows["friends"]
+    like_src: list[int] = []
+    like_dst: list[int] = []
+    like_date: list[int] = []
+    for message in range(len(messages["id"])):
+        count = int(rng.poisson(sf.likes_per_message))
+        if count == 0:
+            continue
+        author = int(messages["creator"][message])
+        pool = friends.get(author, [])
+        likers: set[int] = set()
+        for _ in range(count):
+            if pool and rng.random() < 0.7:
+                likers.add(int(pool[rng.integers(0, len(pool))]))
+            else:
+                likers.add(int(rng.integers(0, n_persons)))
+        likers.discard(author)
+        for liker in likers:
+            like_src.append(liker)
+            like_dst.append(message)
+            like_date.append(
+                int(messages["creationDate"][message] + rng.integers(1, SIM_SPAN // 30))
+            )
+    store.bulk_load_edges(
+        "LIKES",
+        PERSON,
+        MESSAGE,
+        np.asarray(like_src),
+        np.asarray(like_dst),
+        {"creationDate": np.asarray(like_date)},
+    )

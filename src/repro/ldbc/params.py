@@ -1,0 +1,227 @@
+"""Parameter curation for the LDBC workload.
+
+The official benchmark curates parameters so queries hit non-degenerate
+neighborhoods; this module does the mini-scale equivalent: person
+parameters are drawn from persons with at least two friends, dates from
+well-populated regions of the simulation window, and tags/countries from
+the generated dictionaries.  Everything is seeded and deterministic.
+
+``INTERLEAVES`` carries the spec's relative operation frequencies (an IC1
+is issued every 26 update slots, an IC13 every 19, ...); the driver turns
+them into mix weights.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..storage.catalog import AdjacencyKey, Direction
+from .datagen import SIM_END, SIM_SPAN, SIM_START, SnbDataset
+from .schema import ID_BASE, MESSAGE, PERSON
+
+#: LDBC SNB Interactive v1 frequency table: one ICn per this many update
+#: operations (spec table 4.1).  Smaller = more frequent.
+INTERLEAVES: dict[str, int] = {
+    "IC1": 26, "IC2": 37, "IC3": 123, "IC4": 36, "IC5": 57, "IC6": 129,
+    "IC7": 87, "IC8": 45, "IC9": 157, "IC10": 30, "IC11": 16, "IC12": 44,
+    "IC13": 19, "IC14": 49,
+}
+
+#: Short reads fire in bursts after complex reads; updates form the base
+#: stream.  These multipliers reproduce the spec's category balance.
+CATEGORY_MIX = {"IC": 1.0, "IS": 4.0, "IU": 2.0}
+
+
+class ParameterGenerator:
+    """Seeded parameter factory for all 29 workload queries."""
+
+    def __init__(self, dataset: SnbDataset, seed: int = 7) -> None:
+        self.dataset = dataset
+        self.rng = np.random.default_rng(seed)
+        self._fresh_id = 10_000_000  # id space for IU-created entities
+        view = dataset.store.read_view()
+        knows = AdjacencyKey(PERSON, "KNOWS", PERSON, Direction.OUT)
+        adjacency = dataset.store.adjacency(knows)
+        person_rows = view.all_rows(PERSON)
+        degrees = np.asarray([adjacency.degree(int(r)) for r in person_rows])
+        eligible = person_rows[degrees >= 2]
+        self._person_rows = eligible if len(eligible) else person_rows
+        self._person_ids = dataset.store.table(PERSON).gather(
+            "id", self._person_rows
+        )
+        self._message_ids = dataset.store.table(MESSAGE).gather(
+            "id", view.all_rows(MESSAGE)
+        )
+        self._num_forums = dataset.info.num_forums
+        self._num_tags = len(dataset.info.tag_names)
+        self._num_cities = len(
+            [r for r in view.all_rows("Place")
+             if dataset.store.table("Place").get_property(int(r), "type") == "city"]
+        )
+
+    # -- primitive draws ----------------------------------------------------
+
+    def _person_id(self) -> int:
+        return int(self.rng.choice(self._person_ids))
+
+    def _message_id(self) -> int:
+        return int(self.rng.choice(self._message_ids))
+
+    def _date(self, lo: float, hi: float) -> int:
+        return int(SIM_START + SIM_SPAN * self.rng.uniform(lo, hi))
+
+    def fresh_id(self) -> int:
+        self._fresh_id += 1
+        return self._fresh_id
+
+    # -- per-query parameters -------------------------------------------------
+
+    def params_for(self, name: str) -> dict[str, Any]:
+        try:
+            builder = getattr(self, f"_params_{name.lower()}")
+        except AttributeError:
+            raise KeyError(f"no parameter builder for {name!r}") from None
+        return builder()
+
+    def _params_ic1(self) -> dict[str, Any]:
+        return {
+            "personId": self._person_id(),
+            "firstName": str(self.rng.choice(self.dataset.info.first_names)),
+        }
+
+    def _params_ic2(self) -> dict[str, Any]:
+        return {"personId": self._person_id(), "maxDate": self._date(0.5, 0.95)}
+
+    def _params_ic3(self) -> dict[str, Any]:
+        x, y = self.rng.choice(self.dataset.info.country_names, size=2, replace=False)
+        start = self._date(0.2, 0.6)
+        return {
+            "personId": self._person_id(),
+            "countryX": str(x),
+            "countryY": str(y),
+            "startDate": start,
+            "endDate": int(start + SIM_SPAN * 0.3),
+        }
+
+    def _params_ic4(self) -> dict[str, Any]:
+        start = self._date(0.3, 0.6)
+        return {
+            "personId": self._person_id(),
+            "startDate": start,
+            "endDate": int(start + SIM_SPAN * 0.25),
+        }
+
+    def _params_ic5(self) -> dict[str, Any]:
+        return {"personId": self._person_id(), "minDate": self._date(0.2, 0.6)}
+
+    def _params_ic6(self) -> dict[str, Any]:
+        return {
+            "personId": self._person_id(),
+            "tagName": str(self.rng.choice(self.dataset.info.tag_names)),
+        }
+
+    def _params_ic7(self) -> dict[str, Any]:
+        return {"personId": self._person_id()}
+
+    def _params_ic8(self) -> dict[str, Any]:
+        return {"personId": self._person_id()}
+
+    def _params_ic9(self) -> dict[str, Any]:
+        return {"personId": self._person_id(), "maxDate": self._date(0.5, 0.95)}
+
+    def _params_ic10(self) -> dict[str, Any]:
+        return {"personId": self._person_id(), "month": int(self.rng.integers(1, 13))}
+
+    def _params_ic11(self) -> dict[str, Any]:
+        return {
+            "personId": self._person_id(),
+            "countryName": str(self.rng.choice(self.dataset.info.country_names)),
+            "workFromYear": int(self.rng.integers(2003, 2013)),
+        }
+
+    def _params_ic12(self) -> dict[str, Any]:
+        return {
+            "personId": self._person_id(),
+            "tagClassName": str(self.rng.choice(self.dataset.info.tag_class_names)),
+        }
+
+    def _params_ic13(self) -> dict[str, Any]:
+        p1, p2 = self.rng.choice(self._person_ids, size=2, replace=False)
+        return {"person1Id": int(p1), "person2Id": int(p2)}
+
+    _params_ic14 = _params_ic13
+
+    def _params_is1(self) -> dict[str, Any]:
+        return {"personId": self._person_id()}
+
+    _params_is2 = _params_is1
+    _params_is3 = _params_is1
+
+    def _params_is4(self) -> dict[str, Any]:
+        return {"messageId": self._message_id()}
+
+    _params_is5 = _params_is4
+    _params_is6 = _params_is4
+    _params_is7 = _params_is4
+
+    def _params_iu1(self) -> dict[str, Any]:
+        return {
+            "personId": self.fresh_id(),
+            "firstName": str(self.rng.choice(self.dataset.info.first_names)),
+            "lastName": "Newcomer",
+            "creationDate": SIM_END,
+            "cityRow": int(self.rng.integers(0, max(self._num_cities, 1))),
+            "interestRows": [int(t) for t in self.rng.integers(0, self._num_tags, 3)],
+        }
+
+    def _params_iu2(self) -> dict[str, Any]:
+        return {
+            "personId": self._person_id(),
+            "messageId": self._message_id(),
+            "creationDate": SIM_END,
+        }
+
+    _params_iu3 = _params_iu2
+
+    def _params_iu4(self) -> dict[str, Any]:
+        return {
+            "forumId": self.fresh_id(),
+            "title": "Fresh group",
+            "creationDate": SIM_END,
+            "moderatorId": self._person_id(),
+            "tagRows": [int(self.rng.integers(0, self._num_tags))],
+        }
+
+    def _params_iu5(self) -> dict[str, Any]:
+        return {
+            "forumId": int(ID_BASE["Forum"] + self.rng.integers(0, self._num_forums)),
+            "personId": self._person_id(),
+            "joinDate": SIM_END,
+        }
+
+    def _params_iu6(self) -> dict[str, Any]:
+        return {
+            "postId": self.fresh_id(),
+            "creationDate": SIM_END,
+            "content": "fresh post",
+            "length": int(self.rng.integers(10, 300)),
+            "authorId": self._person_id(),
+            "forumId": int(ID_BASE["Forum"] + self.rng.integers(0, self._num_forums)),
+            "countryRow": None,
+        }
+
+    def _params_iu7(self) -> dict[str, Any]:
+        return {
+            "commentId": self.fresh_id(),
+            "creationDate": SIM_END,
+            "content": "fresh reply",
+            "length": int(self.rng.integers(5, 200)),
+            "authorId": self._person_id(),
+            "replyToId": self._message_id(),
+        }
+
+    def _params_iu8(self) -> dict[str, Any]:
+        p1, p2 = self.rng.choice(self._person_ids, size=2, replace=False)
+        return {"person1Id": int(p1), "person2Id": int(p2), "creationDate": SIM_END}

@@ -1,0 +1,9 @@
+"""LDBC SNB Interactive workload queries: IC1–IC14, IS1–IS7, IU1–IU8.
+
+Importing this package populates :data:`REGISTRY` with all 29 queries.
+"""
+
+from . import ic, isq, iu  # noqa: F401  — imports register the queries
+from .common import REGISTRY, LdbcQueryDef, queries_of, run_plan
+
+__all__ = ["REGISTRY", "LdbcQueryDef", "queries_of", "run_plan"]

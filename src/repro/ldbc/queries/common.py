@@ -1,0 +1,60 @@
+"""Shared plumbing for the LDBC workload implementations.
+
+Each query is a plain function ``(engine, params, stats) -> rows`` that
+builds one or more logical plans and runs them through the engine — the
+same function therefore executes on all three GES variants, and multi-stage
+queries accumulate their statistics into one :class:`ExecStats` exactly
+like one physical plan would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ...engine.service import GraphEngineService
+from ...exec.base import ExecStats, QueryResult
+from ...plan.logical import LogicalOp, LogicalPlan
+
+QueryFn = Callable[[GraphEngineService, dict[str, Any], ExecStats], list[tuple[Any, ...]]]
+
+
+@dataclass(frozen=True)
+class LdbcQueryDef:
+    """One registered workload query."""
+
+    name: str  # e.g. "IC5"
+    category: str  # "IC" | "IS" | "IU"
+    fn: QueryFn
+    description: str = ""
+
+
+#: Global registry: name -> definition, filled by the ic/is/iu modules.
+REGISTRY: dict[str, LdbcQueryDef] = {}
+
+
+def register(name: str, category: str, description: str = "") -> Callable[[QueryFn], QueryFn]:
+    """Decorator adding a workload query to :data:`REGISTRY`."""
+
+    def decorator(fn: QueryFn) -> QueryFn:
+        REGISTRY[name] = LdbcQueryDef(name, category, fn, description)
+        return fn
+
+    return decorator
+
+
+def queries_of(category: str) -> list[LdbcQueryDef]:
+    """All registered queries of one category (IC/IS/IU)."""
+    return [q for q in REGISTRY.values() if q.category == category]
+
+
+def run_plan(
+    engine: GraphEngineService,
+    ops: Sequence[LogicalOp],
+    returns: list[str] | None,
+    params: dict[str, Any],
+    stats: ExecStats,
+) -> QueryResult:
+    """Execute one stage plan, folding its stats into the query's."""
+    plan = LogicalPlan(list(ops), returns=returns)
+    return engine.execute(plan, params, stats=stats)

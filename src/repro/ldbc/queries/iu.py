@@ -1,0 +1,202 @@
+"""The 8 LDBC SNB Interactive update queries (IU1–IU8).
+
+Updates run as MV2PL write transactions: the write set is known up front
+(LDBC updates are inserts with given targets), locks are vertex-level, and
+commits stamp new edges/vertices with the commit version so concurrent
+snapshot readers never see half-applied updates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ...engine.service import GraphEngineService
+from ...exec.base import ExecStats
+from ...storage.graph import VertexRef
+from .common import register
+
+
+def _timed(stats: ExecStats, name: str, fn) -> list[tuple]:
+    started = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - started
+    stats.record_op(name, elapsed, 0)
+    stats.total_seconds += elapsed
+    return []
+
+
+def _person_ref(engine: GraphEngineService, person_id: int) -> VertexRef:
+    row = engine.read_view().vertex_by_key("Person", int(person_id))
+    if row is None:
+        raise KeyError(f"unknown person {person_id}")
+    return VertexRef("Person", row)
+
+
+def _message_ref(engine: GraphEngineService, message_id: int) -> VertexRef:
+    row = engine.read_view().vertex_by_key("Message", int(message_id))
+    if row is None:
+        raise KeyError(f"unknown message {message_id}")
+    return VertexRef("Message", row)
+
+
+def _forum_ref(engine: GraphEngineService, forum_id: int) -> VertexRef:
+    row = engine.read_view().vertex_by_key("Forum", int(forum_id))
+    if row is None:
+        raise KeyError(f"unknown forum {forum_id}")
+    return VertexRef("Forum", row)
+
+
+@register("IU1", "IU", "add person")
+def iu1(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU1: add person."""
+    def apply() -> None:
+        txn = engine.transaction()
+        handle = txn.add_vertex(
+            "Person",
+            {
+                "id": params["personId"],
+                "firstName": params["firstName"],
+                "lastName": params["lastName"],
+                "gender": params.get("gender", "male"),
+                "birthday": params.get("birthday", 0),
+                "creationDate": params["creationDate"],
+                "locationIP": params.get("locationIP", "0.0.0.0"),
+                "browserUsed": params.get("browserUsed", "Firefox"),
+            },
+        )
+        city_row = params.get("cityRow")
+        if city_row is not None:
+            txn.add_edge("IS_LOCATED_IN", handle, VertexRef("Place", int(city_row)))
+        for tag_row in params.get("interestRows", ()):
+            txn.add_edge("HAS_INTEREST", handle, VertexRef("Tag", int(tag_row)))
+        txn.commit()
+
+    return _timed(stats, "IU1", apply)
+
+
+def _add_like(engine: GraphEngineService, params: dict[str, Any]) -> None:
+    txn = engine.transaction()
+    txn.add_edge(
+        "LIKES",
+        _person_ref(engine, params["personId"]),
+        _message_ref(engine, params["messageId"]),
+        {"creationDate": params["creationDate"]},
+    )
+    txn.commit()
+
+
+@register("IU2", "IU", "add like to post")
+def iu2(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU2: add like to post."""
+    return _timed(stats, "IU2", lambda: _add_like(engine, params))
+
+
+@register("IU3", "IU", "add like to comment")
+def iu3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU3: add like to comment."""
+    return _timed(stats, "IU3", lambda: _add_like(engine, params))
+
+
+@register("IU4", "IU", "add forum")
+def iu4(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU4: add forum."""
+    def apply() -> None:
+        txn = engine.transaction()
+        handle = txn.add_vertex(
+            "Forum",
+            {
+                "id": params["forumId"],
+                "title": params.get("title", "New group"),
+                "creationDate": params["creationDate"],
+            },
+        )
+        txn.add_edge("HAS_MODERATOR", handle, _person_ref(engine, params["moderatorId"]))
+        for tag_row in params.get("tagRows", ()):
+            txn.add_edge("HAS_TAG", handle, VertexRef("Tag", int(tag_row)))
+        txn.commit()
+
+    return _timed(stats, "IU4", apply)
+
+
+@register("IU5", "IU", "add forum membership")
+def iu5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU5: add forum membership."""
+    def apply() -> None:
+        txn = engine.transaction()
+        txn.add_edge(
+            "HAS_MEMBER",
+            _forum_ref(engine, params["forumId"]),
+            _person_ref(engine, params["personId"]),
+            {"joinDate": params["joinDate"]},
+        )
+        txn.commit()
+
+    return _timed(stats, "IU5", apply)
+
+
+@register("IU6", "IU", "add post")
+def iu6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU6: add post."""
+    def apply() -> None:
+        txn = engine.transaction()
+        handle = txn.add_vertex(
+            "Message",
+            {
+                "id": params["postId"],
+                "creationDate": params["creationDate"],
+                "content": params.get("content", ""),
+                "length": params.get("length", 0),
+                "isPost": True,
+                "browserUsed": params.get("browserUsed", "Firefox"),
+            },
+        )
+        txn.add_edge("HAS_CREATOR", handle, _person_ref(engine, params["authorId"]))
+        forum_id = params.get("forumId")
+        if forum_id is not None:
+            txn.add_edge("CONTAINER_OF", _forum_ref(engine, forum_id), handle)
+        country_row = params.get("countryRow")
+        if country_row is not None:
+            txn.add_edge("IS_LOCATED_IN", handle, VertexRef("Place", int(country_row)))
+        txn.commit()
+
+    return _timed(stats, "IU6", apply)
+
+
+@register("IU7", "IU", "add comment")
+def iu7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU7: add comment."""
+    def apply() -> None:
+        txn = engine.transaction()
+        handle = txn.add_vertex(
+            "Message",
+            {
+                "id": params["commentId"],
+                "creationDate": params["creationDate"],
+                "content": params.get("content", ""),
+                "length": params.get("length", 0),
+                "isPost": False,
+                "browserUsed": params.get("browserUsed", "Firefox"),
+            },
+        )
+        txn.add_edge("HAS_CREATOR", handle, _person_ref(engine, params["authorId"]))
+        txn.add_edge("REPLY_OF", handle, _message_ref(engine, params["replyToId"]))
+        txn.commit()
+
+    return _timed(stats, "IU7", apply)
+
+
+@register("IU8", "IU", "add friendship")
+def iu8(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
+    """IU8: add friendship."""
+    def apply() -> None:
+        txn = engine.transaction()
+        a = _person_ref(engine, params["person1Id"])
+        b = _person_ref(engine, params["person2Id"])
+        props = {"creationDate": params["creationDate"]}
+        # KNOWS is symmetric: insert both directed edges, as the loader does.
+        txn.add_edge("KNOWS", a, b, props)
+        txn.add_edge("KNOWS", b, a, props)
+        txn.commit()
+
+    return _timed(stats, "IU8", apply)

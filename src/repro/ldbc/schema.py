@@ -1,0 +1,144 @@
+"""The LDBC SNB schema as a GES label-property-graph catalog.
+
+One simplification relative to the official schema (documented in
+DESIGN.md): Post and Comment are unified into a single ``Message`` label
+with an ``isPost`` discriminator, mirroring how several reference
+implementations (and the SNB spec's own "Message" supertype) treat them.
+This keeps every Expand destination label unambiguous without losing any
+query semantics — queries that need posts only filter on ``isPost``.
+"""
+
+from __future__ import annotations
+
+from ..storage.catalog import EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef
+from ..types import DataType
+
+PERSON = "Person"
+MESSAGE = "Message"
+FORUM = "Forum"
+TAG = "Tag"
+TAG_CLASS = "TagClass"
+PLACE = "Place"
+ORGANISATION = "Organisation"
+
+
+def build_snb_schema() -> GraphSchema:
+    """The full SNB Interactive schema (vertex + edge labels)."""
+    schema = GraphSchema()
+
+    schema.add_vertex_label(
+        VertexLabelDef(
+            PERSON,
+            [
+                PropertyDef("id", DataType.INT64),
+                PropertyDef("firstName", DataType.STRING),
+                PropertyDef("lastName", DataType.STRING),
+                PropertyDef("gender", DataType.STRING),
+                PropertyDef("birthday", DataType.DATE),
+                PropertyDef("creationDate", DataType.TIMESTAMP),
+                PropertyDef("locationIP", DataType.STRING),
+                PropertyDef("browserUsed", DataType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            MESSAGE,
+            [
+                PropertyDef("id", DataType.INT64),
+                PropertyDef("creationDate", DataType.TIMESTAMP),
+                PropertyDef("content", DataType.STRING),
+                PropertyDef("length", DataType.INT64),
+                PropertyDef("isPost", DataType.BOOL),
+                PropertyDef("browserUsed", DataType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            FORUM,
+            [
+                PropertyDef("id", DataType.INT64),
+                PropertyDef("title", DataType.STRING),
+                PropertyDef("creationDate", DataType.TIMESTAMP),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            TAG,
+            [PropertyDef("id", DataType.INT64), PropertyDef("name", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            TAG_CLASS,
+            [PropertyDef("id", DataType.INT64), PropertyDef("name", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            PLACE,
+            [
+                PropertyDef("id", DataType.INT64),
+                PropertyDef("name", DataType.STRING),
+                PropertyDef("type", DataType.STRING),  # city | country | continent
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            ORGANISATION,
+            [
+                PropertyDef("id", DataType.INT64),
+                PropertyDef("name", DataType.STRING),
+                PropertyDef("type", DataType.STRING),  # university | company
+            ],
+            primary_key="id",
+        )
+    )
+
+    creation_date = PropertyDef("creationDate", DataType.TIMESTAMP)
+    schema.add_edge_label(EdgeLabelDef("KNOWS", PERSON, PERSON, [creation_date]))
+    schema.add_edge_label(EdgeLabelDef("HAS_CREATOR", MESSAGE, PERSON))
+    schema.add_edge_label(EdgeLabelDef("REPLY_OF", MESSAGE, MESSAGE))
+    schema.add_edge_label(EdgeLabelDef("CONTAINER_OF", FORUM, MESSAGE))
+    schema.add_edge_label(
+        EdgeLabelDef("HAS_MEMBER", FORUM, PERSON, [PropertyDef("joinDate", DataType.TIMESTAMP)])
+    )
+    schema.add_edge_label(EdgeLabelDef("HAS_MODERATOR", FORUM, PERSON))
+    schema.add_edge_label(EdgeLabelDef("LIKES", PERSON, MESSAGE, [creation_date]))
+    schema.add_edge_label(EdgeLabelDef("HAS_TAG", MESSAGE, TAG))
+    schema.add_edge_label(EdgeLabelDef("HAS_TAG", FORUM, TAG))
+    schema.add_edge_label(EdgeLabelDef("HAS_INTEREST", PERSON, TAG))
+    schema.add_edge_label(EdgeLabelDef("IS_LOCATED_IN", PERSON, PLACE))
+    schema.add_edge_label(EdgeLabelDef("IS_LOCATED_IN", MESSAGE, PLACE))
+    schema.add_edge_label(EdgeLabelDef("IS_LOCATED_IN", ORGANISATION, PLACE))
+    schema.add_edge_label(EdgeLabelDef("IS_PART_OF", PLACE, PLACE))
+    schema.add_edge_label(
+        EdgeLabelDef("STUDY_AT", PERSON, ORGANISATION, [PropertyDef("classYear", DataType.INT64)])
+    )
+    schema.add_edge_label(
+        EdgeLabelDef("WORK_AT", PERSON, ORGANISATION, [PropertyDef("workFrom", DataType.INT64)])
+    )
+    schema.add_edge_label(EdgeLabelDef("HAS_TYPE", TAG, TAG_CLASS))
+    schema.add_edge_label(EdgeLabelDef("IS_SUBCLASS_OF", TAG_CLASS, TAG_CLASS))
+    return schema
+
+
+#: Id-space bases keep entity ids disjoint across labels, LDBC-style.
+ID_BASE = {
+    PERSON: 1_000,
+    FORUM: 100_000,
+    MESSAGE: 1_000_000,
+    TAG: 10_000,
+    TAG_CLASS: 20_000,
+    PLACE: 30_000,
+    ORGANISATION: 40_000,
+}

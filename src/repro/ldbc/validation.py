@@ -1,0 +1,98 @@
+"""Cross-engine result validation — the driver's correctness audit.
+
+The LDBC driver "audits the correctness ... of the queries to ensure the
+benchmark is valid" (paper §2.2).  With four executors over one store,
+the strongest available audit is mutual agreement: every read query, for
+every parameter draw, must return identical rows on the flat, factorized,
+fused, and Volcano engines.  :func:`validate` runs that audit and returns
+a structured report; the benchmark suite and the CLI expose it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..baselines.volcano import VolcanoEngine
+from ..engine.service import open_all_variants
+from ..exec.base import ExecStats
+from .datagen import SnbDataset
+from .params import ParameterGenerator
+from .queries import REGISTRY, queries_of
+
+
+@dataclass
+class Mismatch:
+    """One disagreement found by the audit."""
+
+    query: str
+    variant: str
+    params: dict
+    expected_rows: int
+    actual_rows: int
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    checks: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+    errors: list[tuple[str, str, str]] = field(default_factory=list)  # (query, variant, error)
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches and not self.errors
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status}: {self.checks} checks, {len(self.mismatches)} mismatches, "
+            f"{len(self.errors)} errors"
+        )
+
+
+def validate(
+    dataset: SnbDataset,
+    queries: Sequence[str] | None = None,
+    draws: int = 3,
+    seed: int = 7,
+    include_volcano: bool = True,
+) -> ValidationReport:
+    """Audit read-query agreement across all engine variants.
+
+    ``queries`` defaults to every registered IC and IS query.  Update
+    queries are excluded: they mutate the store, so agreement is checked
+    end-to-end by the driver tests instead.
+    """
+    if queries is None:
+        queries = [q.name for q in queries_of("IC")] + [q.name for q in queries_of("IS")]
+    engines = dict(open_all_variants(dataset.store))
+    if include_volcano:
+        engines["Volcano"] = VolcanoEngine(dataset.store)
+    generator = ParameterGenerator(dataset, seed=seed)
+
+    report = ValidationReport()
+    for name in queries:
+        definition = REGISTRY[name]
+        if definition.category == "IU":
+            raise ValueError(f"{name} is an update query; validation covers reads only")
+        for _ in range(draws):
+            params = generator.params_for(name)
+            results = {}
+            for variant, engine in engines.items():
+                try:
+                    results[variant] = definition.fn(engine, params, ExecStats())
+                except Exception as exc:  # noqa: BLE001 — audit records, not raises
+                    report.errors.append((name, variant, repr(exc)))
+                    results[variant] = None
+            baseline = results.get("GES")
+            for variant, rows in results.items():
+                report.checks += 1
+                if rows is None or baseline is None:
+                    continue
+                if rows != baseline:
+                    report.mismatches.append(
+                        Mismatch(name, variant, params, len(baseline), len(rows))
+                    )
+    return report

@@ -1,0 +1,496 @@
+"""Expression AST shared by the planner and all executors.
+
+Expressions evaluate in two modes:
+
+* **vectorized** (:meth:`Expr.eval_block`) against a column resolver — the
+  path the GES executors use over f-Block / flat-block columns;
+* **row-at-a-time** (:meth:`Expr.eval_row`) against a dict — the path the
+  Volcano baseline uses, and the fused streaming operators when they
+  consume the constant-delay enumeration.
+
+Null semantics are sentinel-based (see :mod:`repro.types`): comparisons
+against a NULL sentinel are simply false, which matches what the LDBC
+workload needs from its filters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import ExpressionError
+from ..types import DataType, MILLIS_PER_DAY, NULL_INT, is_null
+
+
+class ColumnResolver(Protocol):
+    """What an expression needs from its evaluation environment."""
+
+    def resolve(self, name: str) -> np.ndarray: ...
+
+    def dtype_of(self, name: str) -> DataType: ...
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def columns(self) -> set[str]:
+        """Names of all columns referenced anywhere in the expression."""
+        raise NotImplementedError
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        raise NotImplementedError
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        raise NotImplementedError
+
+    # -- sugar -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> "Cmp":  # type: ignore[override]
+        return Cmp("==", self, _wrap(other))
+
+    def __ne__(self, other: object) -> "Cmp":  # type: ignore[override]
+        return Cmp("!=", self, _wrap(other))
+
+    def __lt__(self, other: Any) -> "Cmp":
+        return Cmp("<", self, _wrap(other))
+
+    def __le__(self, other: Any) -> "Cmp":
+        return Cmp("<=", self, _wrap(other))
+
+    def __gt__(self, other: Any) -> "Cmp":
+        return Cmp(">", self, _wrap(other))
+
+    def __ge__(self, other: Any) -> "Cmp":
+        return Cmp(">=", self, _wrap(other))
+
+    def __add__(self, other: Any) -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: Any) -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other: Any) -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __and__(self, other: "Expr") -> "BoolOp":
+        return BoolOp("and", [self, other])
+
+    def __or__(self, other: "Expr") -> "BoolOp":
+        return BoolOp("or", [self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __hash__(self) -> int:  # Expr __eq__ builds Cmp, so hash by identity
+        return id(self)
+
+
+def _wrap(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+class Col(Expr):
+    """Reference to a column of the current intermediate result."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        return resolver.resolve(self.name)
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExpressionError(f"row has no column {self.name!r}") from None
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        return dtype_of(self.name)
+
+    def __repr__(self) -> str:
+        return f"Col({self.name!r})"
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        from ..types import infer_data_type
+
+        return infer_data_type(self.value)
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+class Param(Expr):
+    """A named query parameter, bound at execution time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def _value(self, params: Mapping[str, Any]) -> Any:
+        try:
+            return params[self.name]
+        except KeyError:
+            raise ExpressionError(f"unbound parameter ${self.name}") from None
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> Any:
+        return self._value(params)
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        return self._value(params)
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        from ..types import infer_data_type
+
+        return infer_data_type(self._value(params))
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r})"
+
+
+_CMP_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Cmp(Expr):
+    """Binary comparison producing booleans."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _CMP_OPS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        left = self.left.eval_block(resolver, params)
+        right = self.right.eval_block(resolver, params)
+        result = _CMP_OPS[self.op](left, right)
+        return np.asarray(result, dtype=bool)
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        left = self.left.eval_row(row, params)
+        right = self.right.eval_row(row, params)
+        if self.op in ("==", "!="):
+            return bool(_CMP_OPS[self.op](left, right))
+        if is_null(left) or is_null(right):
+            return False
+        return bool(_CMP_OPS[self.op](left, right))
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        return DataType.BOOL
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BoolOp(Expr):
+    """N-ary conjunction or disjunction."""
+
+    def __init__(self, op: str, operands: Sequence[Expr]) -> None:
+        if op not in ("and", "or"):
+            raise ExpressionError(f"unknown boolean operator {op!r}")
+        self.op = op
+        self.operands = list(operands)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for operand in self.operands:
+            out |= operand.columns()
+        return out
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        results = [
+            np.asarray(o.eval_block(resolver, params), dtype=bool) for o in self.operands
+        ]
+        combined = results[0]
+        for result in results[1:]:
+            combined = combined & result if self.op == "and" else combined | result
+        return combined
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        if self.op == "and":
+            return all(bool(o.eval_row(row, params)) for o in self.operands)
+        return any(bool(o.eval_row(row, params)) for o in self.operands)
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        return DataType.BOOL
+
+    def __repr__(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(repr(o) for o in self.operands) + ")"
+
+
+class Not(Expr):
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        return ~np.asarray(self.operand.eval_block(resolver, params), dtype=bool)
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        return not bool(self.operand.eval_row(row, params))
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        return DataType.BOOL
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+class Arith(Expr):
+    """Binary arithmetic."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITH_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        left = self.left.eval_block(resolver, params)
+        right = self.right.eval_block(resolver, params)
+        return _ARITH_OPS[self.op](left, right)
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        return _ARITH_OPS[self.op](
+            self.left.eval_row(row, params), self.right.eval_row(row, params)
+        )
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        if self.op == "/":
+            return DataType.FLOAT64
+        left = self.left.infer_dtype(dtype_of, params)
+        right = self.right.infer_dtype(dtype_of, params)
+        if DataType.FLOAT64 in (left, right):
+            return DataType.FLOAT64
+        return DataType.INT64
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class InSet(Expr):
+    """Membership test against a precomputed set (semi/anti-join filters)."""
+
+    def __init__(self, operand: Expr, values: Expr, negate: bool = False) -> None:
+        self.operand = operand
+        self.values = values
+        self.negate = negate
+
+    def columns(self) -> set[str]:
+        return self.operand.columns() | self.values.columns()
+
+    def _value_set(self, params: Mapping[str, Any], resolver: Any = None) -> frozenset:
+        if resolver is not None:
+            values = self.values.eval_block(resolver, params)
+        else:
+            values = self.values.eval_row({}, params)
+        if isinstance(values, frozenset):
+            return values
+        return frozenset(values)
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        operand = np.asarray(self.operand.eval_block(resolver, params))
+        values = self._value_set(params, resolver)
+        if operand.dtype == object:
+            mask = np.fromiter(
+                (v in values for v in operand), dtype=bool, count=len(operand)
+            )
+        else:
+            lookup = np.asarray(sorted(values)) if values else np.empty(0, operand.dtype)
+            mask = np.isin(operand, lookup)
+        return ~mask if self.negate else mask
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        member = self.operand.eval_row(row, params) in self._value_set(params)
+        return not member if self.negate else member
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        return DataType.BOOL
+
+    def __repr__(self) -> str:
+        op = "not in" if self.negate else "in"
+        return f"({self.operand!r} {op} {self.values!r})"
+
+
+class IsNull(Expr):
+    def __init__(self, operand: Expr, negate: bool = False) -> None:
+        self.operand = operand
+        self.negate = negate
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        values = np.asarray(self.operand.eval_block(resolver, params))
+        if values.dtype == object:
+            mask = np.fromiter(
+                (v is None for v in values), dtype=bool, count=len(values)
+            )
+        elif values.dtype.kind == "f":
+            mask = np.isnan(values)
+        elif values.dtype.kind == "i":
+            mask = values == NULL_INT
+        else:
+            mask = np.zeros(len(values), dtype=bool)
+        return ~mask if self.negate else mask
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        null = is_null(self.operand.eval_row(row, params))
+        return not null if self.negate else null
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        return DataType.BOOL
+
+    def __repr__(self) -> str:
+        op = "is not null" if self.negate else "is null"
+        return f"({self.operand!r} {op})"
+
+
+def _millis_to_unit(values: np.ndarray, unit: str) -> np.ndarray:
+    dt = np.asarray(values, dtype="datetime64[ms]")
+    if unit == "year":
+        return dt.astype("datetime64[Y]").astype(np.int64) + 1970
+    if unit == "month":
+        return dt.astype("datetime64[M]").astype(np.int64) % 12 + 1
+    if unit == "day":
+        months = dt.astype("datetime64[M]")
+        return (dt.astype("datetime64[D]") - months.astype("datetime64[D]")).astype(
+            np.int64
+        ) + 1
+    raise ExpressionError(f"unknown date unit {unit!r}")
+
+
+_FUNCS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "min2": min,
+    "max2": max,
+    "floor_div_day": lambda millis: int(millis) // MILLIS_PER_DAY,
+}
+
+
+class Func(Expr):
+    """Scalar function call: year/month/day extraction plus a few helpers."""
+
+    def __init__(self, name: str, args: Sequence[Expr]) -> None:
+        self.name = name
+        self.args = list(args)
+        if name not in ("year", "month", "day") and name not in _FUNCS:
+            raise ExpressionError(f"unknown function {name!r}")
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.columns()
+        return out
+
+    def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
+        args = [a.eval_block(resolver, params) for a in self.args]
+        if self.name in ("year", "month", "day"):
+            return _millis_to_unit(np.asarray(args[0]), self.name)
+        if self.name == "abs":
+            return np.abs(args[0])
+        if self.name == "floor_div_day":
+            return np.asarray(args[0]) // MILLIS_PER_DAY
+        return np.vectorize(_FUNCS[self.name])(*args)
+
+    def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        args = [a.eval_row(row, params) for a in self.args]
+        if self.name in ("year", "month", "day"):
+            return int(_millis_to_unit(np.asarray([args[0]]), self.name)[0])
+        return _FUNCS[self.name](*args)
+
+    def infer_dtype(
+        self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
+    ) -> DataType:
+        if self.name in ("year", "month", "day", "floor_div_day"):
+            return DataType.INT64
+        return self.args[0].infer_dtype(dtype_of, params)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(repr(a) for a in self.args)})"
+
+
+def col(name: str) -> Col:
+    """Shorthand constructor used throughout the query builders."""
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    """Shorthand constructor for a literal expression."""
+    return Lit(value)
+
+
+def param(name: str) -> Param:
+    """Shorthand constructor for a named query parameter."""
+    return Param(name)

@@ -1,0 +1,221 @@
+"""Schema catalog for the Label Property Graph model.
+
+GES adopts the LPG model (paper §2.1): vertices and edges carry labels and
+key-value properties.  The catalog is the single source of truth for which
+labels exist, which properties each label carries (and their types), and
+which property acts as a label's primary key (the LDBC-style ``id``).
+
+The adjacency storage is keyed by ``(srcLabel, edgeLabel, dstLabel,
+direction)`` exactly as in Figure 9 of the paper; :class:`AdjacencyKey` is
+that hash-table key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple
+
+from ..errors import SchemaError
+from ..types import DataType
+
+
+class Direction(enum.Enum):
+    """Traversal direction of an adjacency list."""
+
+    OUT = "out"
+    IN = "in"
+
+    def reverse(self) -> "Direction":
+        return Direction.IN if self is Direction.OUT else Direction.OUT
+
+
+class AdjacencyKey(NamedTuple):
+    """Key of one adjacency list in the storage hash table (paper Fig. 9)."""
+
+    src_label: str
+    edge_label: str
+    dst_label: str
+    direction: Direction
+
+    def reversed(self) -> "AdjacencyKey":
+        """The key of the mirror list (swapping endpoint roles)."""
+        return AdjacencyKey(
+            self.dst_label, self.edge_label, self.src_label, self.direction.reverse()
+        )
+
+
+@dataclass(frozen=True)
+class PropertyDef:
+    """A named, typed property on a vertex or edge label."""
+
+    name: str
+    dtype: DataType
+
+
+@dataclass
+class VertexLabelDef:
+    """A vertex label with its property schema.
+
+    ``primary_key`` names the property used for external lookups (LDBC
+    entity ids); it must appear in ``properties`` and be INT64-backed.
+    """
+
+    name: str
+    properties: list[PropertyDef] = field(default_factory=list)
+    primary_key: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.properties]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate property on vertex label {self.name!r}")
+        if self.primary_key is not None:
+            prop = self.property(self.primary_key)
+            if not prop.dtype.is_integer_backed:
+                raise SchemaError(
+                    f"primary key {self.primary_key!r} of {self.name!r} must be integer-backed"
+                )
+
+    def property(self, name: str) -> PropertyDef:
+        for prop in self.properties:
+            if prop.name == name:
+                return prop
+        raise SchemaError(f"vertex label {self.name!r} has no property {name!r}")
+
+    def has_property(self, name: str) -> bool:
+        return any(p.name == name for p in self.properties)
+
+
+@dataclass
+class EdgeLabelDef:
+    """An edge label connecting one source label to one destination label.
+
+    LDBC relationships that are polymorphic at one endpoint (e.g.
+    ``HAS_CREATOR`` from both Post and Comment) are modelled as several
+    :class:`EdgeLabelDef` entries sharing the same ``name``; the executor's
+    Expand operator unions over all matching adjacency keys.
+    """
+
+    name: str
+    src_label: str
+    dst_label: str
+    properties: list[PropertyDef] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.properties]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate property on edge label {self.name!r}")
+
+    def property(self, name: str) -> PropertyDef:
+        for prop in self.properties:
+            if prop.name == name:
+                return prop
+        raise SchemaError(f"edge label {self.name!r} has no property {name!r}")
+
+    def key(self) -> AdjacencyKey:
+        """Adjacency key of the forward (OUT) list for this definition."""
+        return AdjacencyKey(self.src_label, self.name, self.dst_label, Direction.OUT)
+
+
+class GraphSchema:
+    """Catalog of vertex and edge labels for one graph."""
+
+    def __init__(self) -> None:
+        self._vertex_labels: dict[str, VertexLabelDef] = {}
+        self._edge_labels: list[EdgeLabelDef] = []
+
+    # -- registration ----------------------------------------------------
+
+    def add_vertex_label(self, definition: VertexLabelDef) -> VertexLabelDef:
+        if definition.name in self._vertex_labels:
+            raise SchemaError(f"vertex label {definition.name!r} already defined")
+        self._vertex_labels[definition.name] = definition
+        return definition
+
+    def add_edge_label(self, definition: EdgeLabelDef) -> EdgeLabelDef:
+        for endpoint in (definition.src_label, definition.dst_label):
+            if endpoint not in self._vertex_labels:
+                raise SchemaError(
+                    f"edge label {definition.name!r} references unknown vertex label {endpoint!r}"
+                )
+        for existing in self._edge_labels:
+            if (
+                existing.name == definition.name
+                and existing.src_label == definition.src_label
+                and existing.dst_label == definition.dst_label
+            ):
+                raise SchemaError(
+                    f"edge label {definition.name!r} "
+                    f"({definition.src_label}->{definition.dst_label}) already defined"
+                )
+        self._edge_labels.append(definition)
+        return definition
+
+    # -- lookup ----------------------------------------------------------
+
+    @property
+    def vertex_labels(self) -> list[str]:
+        return list(self._vertex_labels)
+
+    def vertex_label(self, name: str) -> VertexLabelDef:
+        try:
+            return self._vertex_labels[name]
+        except KeyError:
+            raise SchemaError(f"unknown vertex label {name!r}") from None
+
+    def has_vertex_label(self, name: str) -> bool:
+        return name in self._vertex_labels
+
+    def edge_definitions(
+        self,
+        edge_label: str,
+        src_label: str | None = None,
+        dst_label: str | None = None,
+    ) -> list[EdgeLabelDef]:
+        """All edge definitions matching the given (possibly partial) pattern."""
+        matches = [
+            d
+            for d in self._edge_labels
+            if d.name == edge_label
+            and (src_label is None or d.src_label == src_label)
+            and (dst_label is None or d.dst_label == dst_label)
+        ]
+        return matches
+
+    def edge_definition(self, edge_label: str, src_label: str, dst_label: str) -> EdgeLabelDef:
+        matches = self.edge_definitions(edge_label, src_label, dst_label)
+        if not matches:
+            raise SchemaError(
+                f"unknown edge label {edge_label!r} ({src_label}->{dst_label})"
+            )
+        return matches[0]
+
+    def iter_edge_definitions(self) -> Iterator[EdgeLabelDef]:
+        return iter(self._edge_labels)
+
+    def expand_keys(
+        self,
+        edge_label: str,
+        direction: Direction,
+        from_label: str,
+        to_label: str | None = None,
+    ) -> list[AdjacencyKey]:
+        """Adjacency keys an Expand from ``from_label`` must union over.
+
+        ``direction`` is the traversal direction *relative to the starting
+        vertex*: OUT follows edges whose source is the starting vertex; IN
+        follows edges that point at it.
+        """
+        keys: list[AdjacencyKey] = []
+        if direction is Direction.OUT:
+            for d in self.edge_definitions(edge_label, src_label=from_label, dst_label=to_label):
+                keys.append(AdjacencyKey(d.src_label, d.name, d.dst_label, Direction.OUT))
+        else:
+            for d in self.edge_definitions(edge_label, src_label=to_label, dst_label=from_label):
+                keys.append(AdjacencyKey(d.dst_label, d.name, d.src_label, Direction.IN))
+        if not keys:
+            raise SchemaError(
+                f"no adjacency for -[:{edge_label}]- {direction.value} from {from_label!r}"
+                + (f" to {to_label!r}" if to_label else "")
+            )
+        return keys

@@ -1,0 +1,130 @@
+"""Graph snapshots: persist a :class:`GraphStore` to disk and reload it.
+
+Layout of a snapshot directory::
+
+    snapshot/
+      schema.json          labels, properties, edge definitions
+      vertices_<Label>.npz one array per property column
+      edges_<i>.npz        src rows, dst rows, edge-property arrays
+
+String columns are stored as object arrays (``allow_pickle``), so
+snapshots are a local persistence/interchange format, not a security
+boundary — load only snapshots you created.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StorageError
+from ..types import DataType
+from .catalog import EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef
+from .graph import GraphStore
+
+_FORMAT_VERSION = 1
+
+
+def _schema_to_dict(schema: GraphSchema) -> dict:
+    return {
+        "format": _FORMAT_VERSION,
+        "vertex_labels": [
+            {
+                "name": schema.vertex_label(name).name,
+                "primary_key": schema.vertex_label(name).primary_key,
+                "properties": [
+                    {"name": p.name, "dtype": p.dtype.value}
+                    for p in schema.vertex_label(name).properties
+                ],
+            }
+            for name in schema.vertex_labels
+        ],
+        "edge_labels": [
+            {
+                "name": d.name,
+                "src": d.src_label,
+                "dst": d.dst_label,
+                "properties": [
+                    {"name": p.name, "dtype": p.dtype.value} for p in d.properties
+                ],
+            }
+            for d in schema.iter_edge_definitions()
+        ],
+    }
+
+
+def _schema_from_dict(data: dict) -> GraphSchema:
+    if data.get("format") != _FORMAT_VERSION:
+        raise StorageError(f"unsupported snapshot format {data.get('format')!r}")
+    schema = GraphSchema()
+    for label in data["vertex_labels"]:
+        schema.add_vertex_label(
+            VertexLabelDef(
+                label["name"],
+                [PropertyDef(p["name"], DataType(p["dtype"])) for p in label["properties"]],
+                primary_key=label["primary_key"],
+            )
+        )
+    for edge in data["edge_labels"]:
+        schema.add_edge_label(
+            EdgeLabelDef(
+                edge["name"],
+                edge["src"],
+                edge["dst"],
+                [PropertyDef(p["name"], DataType(p["dtype"])) for p in edge["properties"]],
+            )
+        )
+    return schema
+
+
+def save_graph(store: GraphStore, path: str | Path) -> Path:
+    """Write a snapshot of *store* under *path* (created if missing)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / "schema.json", "w") as handle:
+        json.dump(_schema_to_dict(store.schema), handle, indent=2)
+
+    for label in store.schema.vertex_labels:
+        table = store.table(label)
+        arrays = {name: table.column(name).view() for name in table.column_names}
+        np.savez(path / f"vertices_{label}.npz", **arrays)
+
+    for i, definition in enumerate(store.schema.iter_edge_definitions()):
+        adjacency = store.adjacency(definition.key())
+        src, dst, props = adjacency.export_edges()
+        arrays = {"__src": src, "__dst": dst}
+        arrays.update(props)
+        np.savez(path / f"edges_{i}.npz", **arrays)
+    return path
+
+
+def load_graph(path: str | Path) -> GraphStore:
+    """Rebuild a :class:`GraphStore` from a snapshot directory."""
+    path = Path(path)
+    schema_file = path / "schema.json"
+    if not schema_file.exists():
+        raise StorageError(f"no snapshot at {path}")
+    with open(schema_file) as handle:
+        schema = _schema_from_dict(json.load(handle))
+    store = GraphStore(schema)
+
+    for label in schema.vertex_labels:
+        with np.load(path / f"vertices_{label}.npz", allow_pickle=True) as data:
+            columns = {name: data[name] for name in data.files}
+        if columns:
+            store.bulk_load_vertices(label, columns)
+
+    for i, definition in enumerate(schema.iter_edge_definitions()):
+        with np.load(path / f"edges_{i}.npz", allow_pickle=True) as data:
+            src = data["__src"]
+            dst = data["__dst"]
+            props = {
+                name: data[name] for name in data.files if not name.startswith("__")
+            }
+        store.bulk_load_edges(
+            definition.name, definition.src_label, definition.dst_label, src, dst,
+            props or None,
+        )
+    return store

@@ -1,0 +1,254 @@
+"""Columnar property storage for vertices.
+
+The paper (§5) organizes vertex properties "in a columnar table, with each
+row corresponding to a vertex and each column representing a property".
+:class:`PropertyColumn` is one growable column; :class:`VertexTable` is the
+per-label table that owns all columns of a label plus the dense row-id
+assignment and the primary-key index used for external lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SchemaError, StorageError
+from ..types import DataType
+from .catalog import VertexLabelDef
+
+_INITIAL_CAPACITY = 16
+
+
+class PropertyColumn:
+    """One growable, typed column.
+
+    Fixed-width types are backed by a NumPy array with capacity doubling;
+    STRING columns use a NumPy object array so fancy-indexing ``gather``
+    works uniformly across types.
+    """
+
+    def __init__(self, name: str, dtype: DataType, capacity: int = _INITIAL_CAPACITY) -> None:
+        self.name = name
+        self.dtype = dtype
+        self._length = 0
+        self._data = np.empty(max(capacity, 1), dtype=dtype.numpy_dtype)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate live bytes (object columns count pointer size)."""
+        return int(self._data[: self._length].nbytes)
+
+    def _grow_to(self, capacity: int) -> None:
+        new_capacity = max(len(self._data) * 2, capacity, _INITIAL_CAPACITY)
+        grown = np.empty(new_capacity, dtype=self._data.dtype)
+        grown[: self._length] = self._data[: self._length]
+        self._data = grown
+
+    def append(self, value: Any) -> int:
+        """Append one value, returning its row index."""
+        if self._length == len(self._data):
+            self._grow_to(self._length + 1)
+        if value is None:
+            value = self.dtype.null_value()
+        self._data[self._length] = value
+        self._length += 1
+        return self._length - 1
+
+    def extend(self, values: Iterable[Any]) -> None:
+        values = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        needed = self._length + len(values)
+        if needed > len(self._data):
+            self._grow_to(needed)
+        self._data[self._length : needed] = values
+        self._length = needed
+
+    def get(self, row: int) -> Any:
+        if not 0 <= row < self._length:
+            raise StorageError(f"row {row} out of range for column {self.name!r}")
+        value = self._data[row]
+        if self.dtype is DataType.STRING:
+            return value
+        return value.item() if isinstance(value, np.generic) else value
+
+    def set(self, row: int, value: Any) -> None:
+        if not 0 <= row < self._length:
+            raise StorageError(f"row {row} out of range for column {self.name!r}")
+        if value is None:
+            value = self.dtype.null_value()
+        self._data[row] = value
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized fetch of many rows (the executor's property projection)."""
+        return self._data[rows]
+
+    def view(self) -> np.ndarray:
+        """Read-only view over the live prefix of the column."""
+        view = self._data[: self._length]
+        return view
+
+    @classmethod
+    def from_array(cls, name: str, dtype: DataType, values: np.ndarray | list) -> "PropertyColumn":
+        """Bulk-build a column (the datagen loading path)."""
+        column = cls(name, dtype, capacity=max(len(values), 1))
+        array = np.asarray(values, dtype=dtype.numpy_dtype)
+        column._data[: len(array)] = array
+        column._length = len(array)
+        return column
+
+
+class VertexTable:
+    """All vertices of one label: columnar properties + primary-key index.
+
+    Row indices are dense and stable; deletion is by tombstone (the paper's
+    "marking for deletion"), so adjacency lists can keep referring to rows.
+    """
+
+    def __init__(self, definition: VertexLabelDef) -> None:
+        self.definition = definition
+        self.label = definition.name
+        self._columns: dict[str, PropertyColumn] = {
+            p.name: PropertyColumn(p.name, p.dtype) for p in definition.properties
+        }
+        self._count = 0
+        self._tombstones: set[int] = set()
+        self._pk_index: dict[int, int] = {}
+        # Per-row creation version, allocated lazily on the first
+        # transactional insert; None means "all rows visible at version 0".
+        self._created_versions: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_live(self) -> int:
+        return self._count - len(self._tombstones)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._columns.values())
+
+    def column(self, name: str) -> PropertyColumn:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"vertex label {self.label!r} has no property {name!r}"
+            ) from None
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, properties: Mapping[str, Any]) -> int:
+        """Insert one vertex, returning its row index."""
+        unknown = set(properties) - set(self._columns)
+        if unknown:
+            raise SchemaError(f"unknown properties {sorted(unknown)} for label {self.label!r}")
+        for name, column in self._columns.items():
+            column.append(properties.get(name))
+        row = self._count
+        self._count += 1
+        pk = self.definition.primary_key
+        if pk is not None and pk in properties:
+            key = int(properties[pk])
+            if key in self._pk_index:
+                raise StorageError(f"duplicate {self.label}.{pk} = {key}")
+            self._pk_index[key] = row
+        return row
+
+    def bulk_load(self, columns: Mapping[str, np.ndarray | list]) -> None:
+        """Replace table contents from aligned arrays (datagen path)."""
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise StorageError(f"ragged bulk load for {self.label!r}: {lengths}")
+        count = next(iter(lengths.values()), 0)
+        missing = set(self._columns) - set(columns)
+        if missing:
+            raise StorageError(f"bulk load for {self.label!r} missing columns {sorted(missing)}")
+        for name, values in columns.items():
+            prop = self.definition.property(name)
+            self._columns[name] = PropertyColumn.from_array(name, prop.dtype, values)
+        self._count = count
+        self._tombstones.clear()
+        pk = self.definition.primary_key
+        if pk is not None:
+            keys = self._columns[pk].view()
+            self._pk_index = {int(k): i for i, k in enumerate(keys)}
+
+    def delete(self, row: int) -> None:
+        """Tombstone a row (keeps row indices of other vertices stable)."""
+        if not 0 <= row < self._count:
+            raise StorageError(f"row {row} out of range for table {self.label!r}")
+        self._tombstones.add(row)
+        pk = self.definition.primary_key
+        if pk is not None:
+            key = int(self._columns[pk].get(row))
+            self._pk_index.pop(key, None)
+
+    def is_live(self, row: int) -> bool:
+        return 0 <= row < self._count and row not in self._tombstones
+
+    # -- row visibility under MVCC -----------------------------------------
+
+    def mark_created(self, row: int, version: int) -> None:
+        """Stamp *row* as created at *version* (transactional insert path)."""
+        if self._created_versions is None:
+            self._created_versions = np.zeros(max(self._count, 1), dtype=np.int64)
+        if row >= len(self._created_versions):
+            grown = np.zeros(max(len(self._created_versions) * 2, row + 1), dtype=np.int64)
+            grown[: len(self._created_versions)] = self._created_versions
+            self._created_versions = grown
+        self._created_versions[row] = version
+
+    @property
+    def has_version_stamps(self) -> bool:
+        return self._created_versions is not None
+
+    def created_version(self, row: int) -> int:
+        if self._created_versions is None or row >= len(self._created_versions):
+            return 0
+        return int(self._created_versions[row])
+
+    def is_visible(self, row: int, version: int | None) -> bool:
+        """Row exists at the given snapshot version (None = latest)."""
+        if not self.is_live(row):
+            return False
+        if version is None:
+            return True
+        return self.created_version(row) <= version
+
+    def set_property(self, row: int, name: str, value: Any) -> None:
+        self.column(name).set(row, value)
+
+    # -- lookup -----------------------------------------------------------
+
+    def row_for_key(self, key: int) -> int:
+        """Row index of the vertex whose primary key equals *key*."""
+        try:
+            return self._pk_index[int(key)]
+        except KeyError:
+            raise StorageError(f"no {self.label} with key {key}") from None
+
+    def try_row_for_key(self, key: int) -> int | None:
+        return self._pk_index.get(int(key))
+
+    def get_property(self, row: int, name: str) -> Any:
+        return self.column(name).get(row)
+
+    def gather(self, name: str, rows: np.ndarray) -> np.ndarray:
+        return self.column(name).gather(rows)
+
+    def all_rows(self, include_tombstones: bool = False) -> np.ndarray:
+        """Dense row indices of (live) vertices, for label scans."""
+        rows = np.arange(self._count, dtype=np.int64)
+        if include_tombstones or not self._tombstones:
+            return rows
+        mask = np.ones(self._count, dtype=bool)
+        mask[list(self._tombstones)] = False
+        return rows[mask]

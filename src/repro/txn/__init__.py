@@ -1,0 +1,16 @@
+"""Concurrency control: version manager, MV2PL locks, copy-on-write
+snapshots, transactions (paper §5)."""
+
+from .locks import LockManager
+from .snapshot import SnapshotOverlay, VertexSnapshot
+from .transaction import Transaction, TransactionManager
+from .version import VersionManager
+
+__all__ = [
+    "LockManager",
+    "SnapshotOverlay",
+    "Transaction",
+    "TransactionManager",
+    "VersionManager",
+    "VertexSnapshot",
+]

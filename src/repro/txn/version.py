@@ -1,0 +1,29 @@
+"""The version manager (paper §5, Concurrency Control).
+
+"To coordinate query execution and versioning, the system employs a version
+manager initialized to zero."  Read transactions take a snapshot of the
+current version; write transactions receive the next version at commit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class VersionManager:
+    """Monotonic global version counter, thread-safe."""
+
+    def __init__(self) -> None:
+        self._version = 0
+        self._lock = threading.Lock()
+
+    def current(self) -> int:
+        """The newest committed version (what a read snapshot pins)."""
+        with self._lock:
+            return self._version
+
+    def next_commit(self) -> int:
+        """Allocate and publish the next commit version."""
+        with self._lock:
+            self._version += 1
+            return self._version

@@ -1,0 +1,117 @@
+"""Value and type system shared by storage, executor, and frontend.
+
+The engine is columnar: every attribute has a :class:`DataType` that decides
+the physical NumPy representation of its column.  Dates and timestamps are
+stored as int64 epoch milliseconds, matching the LDBC SNB convention; the
+helpers at the bottom of this module convert between human-readable dates and
+the stored representation.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Any
+
+import numpy as np
+
+#: Sentinel stored in int64 columns for SQL-style NULL.
+NULL_INT = np.iinfo(np.int64).min
+
+#: Sentinel stored in float64 columns for NULL (NaN compares unequal, which
+#: is exactly the semantics we want for filters).
+NULL_FLOAT = float("nan")
+
+
+class DataType(enum.Enum):
+    """Physical column types supported by the engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+    DATE = "date"  # int64 epoch millis at midnight UTC
+    TIMESTAMP = "timestamp"  # int64 epoch millis
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """NumPy dtype used for a column of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_integer_backed(self) -> bool:
+        """True when the column physically stores int64 values."""
+        return self in (DataType.INT64, DataType.DATE, DataType.TIMESTAMP)
+
+    def null_value(self) -> Any:
+        """Sentinel representing NULL in a column of this type."""
+        if self.is_integer_backed:
+            return NULL_INT
+        if self is DataType.FLOAT64:
+            return NULL_FLOAT
+        if self is DataType.BOOL:
+            return False
+        return None
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.STRING: np.dtype(object),
+    DataType.DATE: np.dtype(np.int64),
+    DataType.TIMESTAMP: np.dtype(np.int64),
+}
+
+_EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
+
+#: Milliseconds in one day, used throughout the LDBC workload definitions.
+MILLIS_PER_DAY = 86_400_000
+
+
+def date_millis(year: int, month: int, day: int) -> int:
+    """Epoch milliseconds of midnight UTC on the given calendar date."""
+    moment = _dt.datetime(year, month, day, tzinfo=_dt.timezone.utc)
+    return int((moment - _EPOCH).total_seconds() * 1000)
+
+
+def timestamp_millis(
+    year: int, month: int, day: int, hour: int = 0, minute: int = 0, second: int = 0
+) -> int:
+    """Epoch milliseconds of the given UTC instant."""
+    moment = _dt.datetime(year, month, day, hour, minute, second, tzinfo=_dt.timezone.utc)
+    return int((moment - _EPOCH).total_seconds() * 1000)
+
+
+def millis_to_datetime(millis: int) -> _dt.datetime:
+    """Convert stored epoch milliseconds back to an aware UTC datetime."""
+    return _EPOCH + _dt.timedelta(milliseconds=int(millis))
+
+
+def infer_data_type(value: Any) -> DataType:
+    """Best-effort :class:`DataType` for a Python literal.
+
+    Used by the Cypher frontend when typing literals and by ad-hoc column
+    construction in tests.
+    """
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, (int, np.integer)):
+        return DataType.INT64
+    if isinstance(value, (float, np.floating)):
+        return DataType.FLOAT64
+    if isinstance(value, str):
+        return DataType.STRING
+    raise TypeError(f"cannot infer DataType for {value!r} ({type(value).__name__})")
+
+
+def is_null(value: Any, dtype: DataType | None = None) -> bool:
+    """True when *value* is the NULL representation for its (or any) type."""
+    if value is None:
+        return True
+    if isinstance(value, float) and value != value:  # NaN
+        return True
+    if isinstance(value, (int, np.integer)) and int(value) == NULL_INT:
+        if dtype is None or dtype.is_integer_backed:
+            return True
+    return False

@@ -1,0 +1,172 @@
+"""Tests for the adjMeta/adjArray adjacency storage (paper Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.adjacency import MAX_VERSION, TOMBSTONE, AdjacencyList
+from repro.storage.catalog import AdjacencyKey, Direction, PropertyDef
+from repro.types import DataType
+
+
+def make_list(num_src=4, props=None) -> AdjacencyList:
+    key = AdjacencyKey("A", "E", "B", Direction.OUT)
+    return AdjacencyList(key, props, num_src=num_src)
+
+
+def loaded_list() -> AdjacencyList:
+    adj = make_list(num_src=3, props=[PropertyDef("w", DataType.INT64)])
+    adj.bulk_load(
+        3,
+        np.asarray([0, 0, 1, 2, 2, 2]),
+        np.asarray([10, 11, 12, 13, 14, 15]),
+        {"w": np.asarray([1, 2, 3, 4, 5, 6])},
+    )
+    return adj
+
+
+class TestBulkLoad:
+    def test_neighbors_grouped_by_source(self):
+        adj = loaded_list()
+        assert adj.neighbors(0).tolist() == [10, 11]
+        assert adj.neighbors(1).tolist() == [12]
+        assert adj.neighbors(2).tolist() == [13, 14, 15]
+
+    def test_num_edges(self):
+        assert loaded_list().num_edges == 6
+
+    def test_degree(self):
+        adj = loaded_list()
+        assert adj.degree(0) == 2
+        assert adj.degree(2) == 3
+
+    def test_out_of_range_source_is_empty(self):
+        adj = loaded_list()
+        assert adj.neighbors(99).tolist() == []
+        assert adj.degree(99) == 0
+
+    def test_edge_props_aligned(self):
+        adj = loaded_list()
+        slots = adj.neighbor_slots(2)
+        assert adj.gather_prop("w", slots).tolist() == [4, 5, 6]
+
+    def test_unsorted_input_is_grouped(self):
+        adj = make_list(num_src=2)
+        adj.bulk_load(2, np.asarray([1, 0, 1]), np.asarray([5, 6, 7]))
+        assert adj.neighbors(0).tolist() == [6]
+        assert adj.neighbors(1).tolist() == [5, 7]
+
+    def test_length_mismatch_rejected(self):
+        adj = make_list()
+        with pytest.raises(Exception):
+            adj.bulk_load(2, np.asarray([0]), np.asarray([1, 2]))
+
+    def test_unknown_prop_rejected(self):
+        adj = make_list()
+        with pytest.raises(Exception):
+            adj.bulk_load(1, np.asarray([0]), np.asarray([1]), {"ghost": np.asarray([1])})
+
+
+class TestSegments:
+    def test_segment_matches_neighbors(self):
+        adj = loaded_list()
+        seg = adj.segment(2)
+        assert seg.materialize().tolist() == [13, 14, 15]
+
+    def test_supports_segments_initially(self):
+        assert loaded_list().supports_segments
+
+    def test_meta_for_vectorized(self):
+        adj = loaded_list()
+        base, starts, lengths = adj.meta_for(np.asarray([2, 0, 99, -5]))
+        assert lengths.tolist() == [3, 2, 0, 0]
+        assert base[starts[0] : starts[0] + lengths[0]].tolist() == [13, 14, 15]
+
+    def test_tombstone_disables_segments(self):
+        adj = loaded_list()
+        adj.remove_edge(0, 10)
+        assert not adj.supports_segments
+
+
+class TestUpdates:
+    def test_add_edge_to_new_source(self):
+        adj = make_list(num_src=1)
+        adj.add_edge(0, 7)
+        assert adj.neighbors(0).tolist() == [7]
+
+    def test_add_edge_grows_source_range(self):
+        adj = make_list(num_src=1)
+        adj.add_edge(5, 9)
+        assert adj.num_src == 6
+        assert adj.neighbors(5).tolist() == [9]
+
+    def test_slot_relocation_on_overflow(self):
+        adj = make_list(num_src=2)
+        for i in range(20):
+            adj.add_edge(0, i)
+        assert adj.neighbors(0).tolist() == list(range(20))
+
+    def test_interleaved_sources(self):
+        adj = make_list(num_src=2)
+        for i in range(10):
+            adj.add_edge(i % 2, i)
+        assert adj.neighbors(0).tolist() == [0, 2, 4, 6, 8]
+        assert adj.neighbors(1).tolist() == [1, 3, 5, 7, 9]
+
+    def test_remove_edge_tombstones(self):
+        adj = loaded_list()
+        assert adj.remove_edge(2, 14)
+        assert adj.neighbors(2).tolist() == [13, 15]
+        assert adj.num_edges == 5
+
+    def test_remove_missing_edge_returns_false(self):
+        adj = loaded_list()
+        assert not adj.remove_edge(0, 999)
+
+    def test_add_edge_with_props(self):
+        adj = make_list(num_src=1, props=[PropertyDef("w", DataType.INT64)])
+        slot = adj.add_edge(0, 3, {"w": 42})
+        assert adj.prop_at("w", slot) == 42
+
+    def test_add_edge_missing_prop_is_null(self):
+        from repro.types import NULL_INT
+
+        adj = make_list(num_src=1, props=[PropertyDef("w", DataType.INT64)])
+        slot = adj.add_edge(0, 3)
+        assert adj.prop_at("w", slot) == NULL_INT
+
+
+class TestVersioning:
+    def test_versioned_add_invisible_to_older_snapshot(self):
+        adj = loaded_list()
+        adj.add_edge(0, 99, version=5)
+        assert 99 not in adj.neighbors(0, version=4).tolist()
+        assert 99 in adj.neighbors(0, version=5).tolist()
+
+    def test_versioned_delete_visible_to_older_snapshot(self):
+        adj = loaded_list()
+        adj.add_edge(0, 99, version=1)  # forces version stamps
+        adj.remove_edge(0, 10, version=5)
+        assert 10 in adj.neighbors(0, version=4).tolist()
+        assert 10 not in adj.neighbors(0, version=5).tolist()
+
+    def test_latest_read_hides_version_deleted(self):
+        adj = loaded_list()
+        adj.add_edge(0, 99, version=1)
+        adj.remove_edge(0, 10, version=5)
+        assert 10 not in adj.neighbors(0).tolist()
+
+    def test_versioning_disables_segments(self):
+        adj = loaded_list()
+        adj.add_edge(0, 99, version=1)
+        assert not adj.supports_segments
+
+    def test_relocation_preserves_version_stamps(self):
+        adj = make_list(num_src=1, props=[])
+        adj.add_edge(0, 1, version=1)
+        for i in range(2, 20):
+            adj.add_edge(0, i, version=2)
+        assert 1 in adj.neighbors(0, version=1).tolist()
+        assert 5 not in adj.neighbors(0, version=1).tolist()
+
+    def test_nbytes_positive(self):
+        assert loaded_list().nbytes > 0

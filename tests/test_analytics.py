@@ -1,0 +1,139 @@
+"""Tests for the OLAP analytics procedures, verified against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.procedures import get_procedure
+from repro.plan import LogicalPlan, ProcedureCall, lit
+from repro.storage.catalog import AdjacencyKey, Direction
+
+
+def knows_graph(store, n):
+    key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+    view = store.read_view()
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for row in range(n):
+        for neighbor in view.neighbors(key, row):
+            graph.add_edge(row, int(neighbor))
+    return graph
+
+
+@pytest.fixture(scope="module")
+def sf1(sf1_dataset):
+    return sf1_dataset, knows_graph(sf1_dataset.store, sf1_dataset.info.num_persons)
+
+
+class TestPageRank:
+    def test_matches_networkx(self, sf1):
+        dataset, graph = sf1
+        block = get_procedure("pagerank")(dataset.store.read_view(), {})
+        ours = dict(block.to_pylist())
+        theirs = nx.pagerank(graph, alpha=0.85)
+        assert max(abs(theirs[v] - ours[v]) for v in graph) < 1e-4
+
+    def test_ranks_sum_to_one(self, sf1):
+        dataset, _ = sf1
+        block = get_procedure("pagerank")(dataset.store.read_view(), {})
+        total = sum(r for _, r in block.to_pylist())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_damping_parameter(self, sf1):
+        dataset, _ = sf1
+        view = dataset.store.read_view()
+        uniformish = get_procedure("pagerank")(view, {"damping": 0.0})
+        ranks = [r for _, r in uniformish.to_pylist()]
+        assert max(ranks) - min(ranks) < 1e-12  # damping 0 => uniform
+
+    def test_micro_graph_converges_exactly(self, micro_store):
+        block = get_procedure("pagerank")(
+            micro_store.read_view(), {"iterations": 200, "tolerance": 1e-14}
+        )
+        ours = dict(block.to_pylist())
+        theirs = nx.pagerank(knows_graph(micro_store, 5), alpha=0.85)
+        # networkx's own stopping tolerance is 1e-6/node; compare within it.
+        assert max(abs(theirs[v] - ours[v]) for v in range(5)) < 1e-5
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, sf1):
+        dataset, graph = sf1
+        block = get_procedure("connected_components")(dataset.store.read_view(), {})
+        ours = dict(block.to_pylist())
+        theirs = {v: min(c) for c in nx.connected_components(graph) for v in c}
+        assert ours == theirs
+
+    def test_micro_graph_single_component(self, micro_store):
+        block = get_procedure("connected_components")(micro_store.read_view(), {})
+        components = {c for _, c in block.to_pylist()}
+        assert components == {0}
+
+    def test_isolated_vertex_is_own_component(self, micro_store):
+        micro_store.add_vertex("Person", {"id": 99, "firstName": "I", "age": 1})
+        block = get_procedure("connected_components")(micro_store.read_view(), {})
+        assert dict(block.to_pylist())[5] == 5
+
+
+class TestTriangles:
+    def test_matches_networkx(self, sf1):
+        dataset, graph = sf1
+        block = get_procedure("triangle_count")(dataset.store.read_view(), {})
+        ours = dict(block.to_pylist())
+        theirs = nx.triangles(graph)
+        assert all(theirs[v] == ours[v] for v in graph)
+
+    def test_micro_graph_has_no_triangles(self, micro_store):
+        block = get_procedure("triangle_count")(micro_store.read_view(), {})
+        assert all(t == 0 for _, t in block.to_pylist())
+
+    def test_planted_triangle(self, micro_store):
+        from repro.storage.graph import VertexRef
+
+        # Close the 0-1-3 path into a triangle (KNOWS kept symmetric)...
+        micro_store.add_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 3))
+        micro_store.add_edge("KNOWS", VertexRef("Person", 3), VertexRef("Person", 0))
+        # ...then compact via a snapshot round-trip so CSR analytics apply.
+        import tempfile
+
+        from repro.storage import load_graph, save_graph
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = load_graph(save_graph(micro_store, tmp))
+        block = get_procedure("triangle_count")(store.read_view(), {})
+        ours = dict(block.to_pylist())
+        assert ours[0] == ours[1] == ours[3] == 1
+        assert ours[2] == ours[4] == 0
+
+
+class TestDegreeDistribution:
+    def test_total_matches_vertex_count(self, sf1):
+        dataset, _ = sf1
+        block = get_procedure("degree_distribution")(dataset.store.read_view(), {})
+        assert sum(n for _, n in block.to_pylist()) == dataset.info.num_persons
+
+    def test_micro_graph(self, micro_store):
+        block = get_procedure("degree_distribution")(micro_store.read_view(), {})
+        # Persons 0,1,2 have two friends; persons 3,4 have one.
+        assert dict(block.to_pylist()) == {1: 2, 2: 3}
+
+
+class TestIntegration:
+    def test_callable_from_a_plan(self, micro_store):
+        from repro.exec import execute_factorized
+
+        plan = LogicalPlan(
+            [ProcedureCall("pagerank", {"vertex_label": lit("Person"),
+                                        "edge_label": lit("KNOWS")})],
+            returns=["vertex", "rank"],
+        )
+        result = execute_factorized(plan, micro_store.read_view())
+        assert len(result.rows) == 5
+
+    def test_updated_adjacency_rejected(self, micro_store):
+        from repro.storage.graph import VertexRef
+
+        micro_store.remove_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 1))
+        with pytest.raises(ExecutionError):
+            get_procedure("pagerank")(micro_store.read_view(), {})

@@ -1,0 +1,135 @@
+"""Tests for the schema catalog and adjacency keys."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.catalog import (
+    AdjacencyKey,
+    Direction,
+    EdgeLabelDef,
+    GraphSchema,
+    PropertyDef,
+    VertexLabelDef,
+)
+from repro.types import DataType
+
+
+def person() -> VertexLabelDef:
+    return VertexLabelDef(
+        "Person", [PropertyDef("id", DataType.INT64)], primary_key="id"
+    )
+
+
+class TestDirection:
+    def test_reverse_out(self):
+        assert Direction.OUT.reverse() is Direction.IN
+
+    def test_reverse_in(self):
+        assert Direction.IN.reverse() is Direction.OUT
+
+
+class TestAdjacencyKey:
+    def test_reversed_swaps_endpoints(self):
+        key = AdjacencyKey("A", "E", "B", Direction.OUT)
+        assert key.reversed() == AdjacencyKey("B", "E", "A", Direction.IN)
+
+    def test_double_reverse_is_identity(self):
+        key = AdjacencyKey("A", "E", "B", Direction.OUT)
+        assert key.reversed().reversed() == key
+
+
+class TestVertexLabelDef:
+    def test_duplicate_property_rejected(self):
+        with pytest.raises(SchemaError):
+            VertexLabelDef(
+                "X", [PropertyDef("a", DataType.INT64), PropertyDef("a", DataType.INT64)]
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            VertexLabelDef("X", [PropertyDef("a", DataType.INT64)], primary_key="b")
+
+    def test_primary_key_must_be_integer(self):
+        with pytest.raises(SchemaError):
+            VertexLabelDef("X", [PropertyDef("a", DataType.STRING)], primary_key="a")
+
+    def test_property_lookup(self):
+        label = person()
+        assert label.property("id").dtype is DataType.INT64
+
+    def test_has_property(self):
+        assert person().has_property("id")
+        assert not person().has_property("nope")
+
+
+class TestGraphSchema:
+    def test_duplicate_vertex_label_rejected(self):
+        schema = GraphSchema()
+        schema.add_vertex_label(person())
+        with pytest.raises(SchemaError):
+            schema.add_vertex_label(person())
+
+    def test_edge_with_unknown_endpoint_rejected(self):
+        schema = GraphSchema()
+        schema.add_vertex_label(person())
+        with pytest.raises(SchemaError):
+            schema.add_edge_label(EdgeLabelDef("E", "Person", "Ghost"))
+
+    def test_duplicate_edge_definition_rejected(self):
+        schema = GraphSchema()
+        schema.add_vertex_label(person())
+        schema.add_edge_label(EdgeLabelDef("E", "Person", "Person"))
+        with pytest.raises(SchemaError):
+            schema.add_edge_label(EdgeLabelDef("E", "Person", "Person"))
+
+    def test_same_edge_name_different_endpoints_allowed(self):
+        schema = GraphSchema()
+        schema.add_vertex_label(person())
+        schema.add_vertex_label(VertexLabelDef("Tag", [PropertyDef("id", DataType.INT64)]))
+        schema.add_edge_label(EdgeLabelDef("HAS", "Person", "Tag"))
+        schema.add_edge_label(EdgeLabelDef("HAS", "Tag", "Tag"))
+        assert len(schema.edge_definitions("HAS")) == 2
+
+    def test_unknown_vertex_label_raises(self):
+        with pytest.raises(SchemaError):
+            GraphSchema().vertex_label("Ghost")
+
+    def test_vertex_labels_listing(self):
+        schema = GraphSchema()
+        schema.add_vertex_label(person())
+        assert schema.vertex_labels == ["Person"]
+
+
+class TestExpandKeys:
+    @pytest.fixture
+    def schema(self) -> GraphSchema:
+        schema = GraphSchema()
+        schema.add_vertex_label(person())
+        schema.add_vertex_label(
+            VertexLabelDef("Message", [PropertyDef("id", DataType.INT64)])
+        )
+        schema.add_edge_label(EdgeLabelDef("HAS_CREATOR", "Message", "Person"))
+        return schema
+
+    def test_out_direction(self, schema):
+        keys = schema.expand_keys("HAS_CREATOR", Direction.OUT, "Message")
+        assert keys == [AdjacencyKey("Message", "HAS_CREATOR", "Person", Direction.OUT)]
+
+    def test_in_direction(self, schema):
+        keys = schema.expand_keys("HAS_CREATOR", Direction.IN, "Person")
+        assert keys == [AdjacencyKey("Person", "HAS_CREATOR", "Message", Direction.IN)]
+
+    def test_in_direction_key_src_is_start_label(self, schema):
+        (key,) = schema.expand_keys("HAS_CREATOR", Direction.IN, "Person")
+        assert key.src_label == "Person"
+        assert key.dst_label == "Message"
+
+    def test_no_match_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.expand_keys("HAS_CREATOR", Direction.OUT, "Person")
+
+    def test_to_label_restriction(self, schema):
+        keys = schema.expand_keys(
+            "HAS_CREATOR", Direction.OUT, "Message", to_label="Person"
+        )
+        assert len(keys) == 1

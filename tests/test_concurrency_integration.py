@@ -1,0 +1,98 @@
+"""Integration tests: concurrent readers and writers over one engine.
+
+MV2PL promises non-blocking snapshot reads while writers commit; these
+tests hammer that promise with real threads over the SF1 graph.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import EngineConfig, GES
+from repro.exec.base import ExecStats
+from repro.ldbc import ParameterGenerator, REGISTRY, generate
+
+
+@pytest.fixture
+def engine():
+    dataset = generate("SF1", seed=42)
+    return GES(dataset.store, EngineConfig.ges_f_star()), dataset
+
+
+class TestReadersUnderWrites:
+    def test_readers_never_fail_while_writers_commit(self, engine):
+        ges, dataset = engine
+        gen = ParameterGenerator(dataset, seed=5)
+        read_params = [gen.params_for("IC9") for _ in range(4)]
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for params in read_params:
+                    try:
+                        rows = REGISTRY["IC9"].fn(ges, params, ExecStats())
+                        assert len(rows) <= 20
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+        def writer():
+            try:
+                for _ in range(15):
+                    for name in ("IU2", "IU7", "IU8"):
+                        REGISTRY[name].fn(ges, gen.params_for(name), ExecStats())
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for t in readers:
+            t.start()
+        writer_thread.start()
+        writer_thread.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert ges.txn_manager.versions.current() == 45
+
+    def test_snapshot_repeatable_read(self, engine):
+        """A view taken before updates keeps returning the same answer."""
+        ges, dataset = engine
+        gen = ParameterGenerator(dataset, seed=5)
+        params = gen.params_for("IS3")
+        view = ges.read_view()
+        plan = ges.plan(
+            "MATCH (p:Person) WHERE id(p) = $personId "
+            "MATCH (p)-[:KNOWS]->(f) RETURN count(*) AS n"
+        )
+        before = ges.execute(plan, params, view=view).rows
+        # Commit new friendships involving arbitrary persons.
+        for _ in range(5):
+            REGISTRY["IU8"].fn(ges, gen.params_for("IU8"), ExecStats())
+        after_same_view = ges.execute(plan, params, view=view).rows
+        assert after_same_view == before
+
+    def test_new_view_sees_the_writes(self, engine):
+        ges, dataset = engine
+        gen = ParameterGenerator(dataset, seed=6)
+        count_plan = ges.plan("MATCH (p:Person) RETURN count(*) AS n")
+        before = ges.execute(count_plan).rows[0][0]
+        REGISTRY["IU1"].fn(ges, gen.params_for("IU1"), ExecStats())
+        after = ges.execute(count_plan).rows[0][0]
+        assert after == before + 1
+
+    def test_snapshot_pruning_after_quiescence(self, engine):
+        ges, dataset = engine
+        gen = ParameterGenerator(dataset, seed=7)
+        person = gen.params_for("IS1")["personId"]
+        row = ges.read_view().vertex_by_key("Person", person)
+        for value in ("X", "Y", "Z"):
+            txn = ges.transaction()
+            txn.set_vertex_property("Person", row, "lastName", value)
+            txn.commit()
+        assert ges.txn_manager.overlay.snapshot_count == 3
+        released = ges.txn_manager.prune_snapshots()
+        assert released == 3
+        assert ges.read_view().get_property("Person", row, "lastName") == "Z"

@@ -1,0 +1,143 @@
+"""Tests for eager columns, lazy pointer columns, and f-Blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.column import Column, string_payload_bytes
+from repro.core.fblock import FBlock
+from repro.core.lazy import LazyNeighborColumn
+from repro.errors import FactorizationError
+from repro.types import DataType
+
+
+class TestColumn:
+    def test_values(self):
+        col = Column("x", DataType.INT64, [1, 2, 3])
+        assert col.values().tolist() == [1, 2, 3]
+
+    def test_get_returns_python_scalar(self):
+        col = Column("x", DataType.INT64, [7])
+        value = col.get(0)
+        assert value == 7 and isinstance(value, int)
+
+    def test_take(self):
+        col = Column("x", DataType.INT64, [1, 2, 3])
+        assert col.take(np.asarray([2, 0])).values().tolist() == [3, 1]
+
+    def test_renamed(self):
+        col = Column("x", DataType.INT64, [1]).renamed("y")
+        assert col.name == "y"
+
+    def test_nbytes_numeric(self):
+        col = Column("x", DataType.INT64, np.arange(10))
+        assert col.nbytes == 80
+
+    def test_nbytes_string_includes_payload(self):
+        col = Column("x", DataType.STRING, np.asarray(["ab", "cdef"], dtype=object))
+        assert col.nbytes == 2 * 8 + 6
+
+    def test_string_payload_none_safe(self):
+        values = np.asarray(["ab", None], dtype=object)
+        assert string_payload_bytes(values) == 2
+
+    def test_from_values_infers_dtype(self):
+        assert Column.from_values("x", [1.5]).dtype is DataType.FLOAT64
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", DataType.INT64, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestLazyNeighborColumn:
+    @pytest.fixture
+    def base(self):
+        return np.arange(100, dtype=np.int64)
+
+    def test_values_concatenates_slices(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([10, 50]), np.asarray([3, 2]))
+        assert col.values().tolist() == [10, 11, 12, 50, 51]
+
+    def test_length(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([0, 5]), np.asarray([2, 4]))
+        assert len(col) == 6
+
+    def test_nbytes_before_materialization(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([0, 5, 9]), np.asarray([10, 10, 10]))
+        assert col.nbytes == 3 * 16  # pointer+length per reference
+        assert not col.is_materialized
+
+    def test_nbytes_after_materialization(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([0]), np.asarray([10]))
+        col.values()
+        assert col.is_materialized
+        assert col.nbytes == 80
+
+    def test_values_cached(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([0]), np.asarray([3]))
+        assert col.values() is col.values()
+
+    def test_get_without_materialization(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([10, 50]), np.asarray([3, 2]))
+        assert col.get(0) == 10
+        assert col.get(3) == 50
+        assert col.get(4) == 51
+        assert not col.is_materialized
+
+    def test_empty(self):
+        col = LazyNeighborColumn.empty("n")
+        assert len(col) == 0
+        assert col.values().tolist() == []
+
+    def test_zero_length_references_skipped(self, base):
+        col = LazyNeighborColumn("n", base, np.asarray([5, 0, 20]), np.asarray([1, 0, 2]))
+        assert col.values().tolist() == [5, 20, 21]
+
+
+class TestFBlock:
+    def test_schema_in_order(self):
+        block = FBlock([Column("a", DataType.INT64, [1]), Column("b", DataType.INT64, [2])])
+        assert block.schema == ["a", "b"]
+
+    def test_cardinality_restriction(self):
+        block = FBlock([Column("a", DataType.INT64, [1, 2])])
+        with pytest.raises(FactorizationError):
+            block.add_column(Column("b", DataType.INT64, [1]))
+
+    def test_duplicate_column_rejected(self):
+        block = FBlock([Column("a", DataType.INT64, [1])])
+        with pytest.raises(FactorizationError):
+            block.add_column(Column("a", DataType.INT64, [2]))
+
+    def test_tuple_at(self):
+        block = FBlock.from_arrays(personId=[1, 2, 3], firstName=["Jan", "Rahul", "Wei"])
+        assert block.tuple_at(1) == (2, "Rahul")
+
+    def test_tuple_at_out_of_range(self):
+        block = FBlock.from_arrays(a=[1])
+        with pytest.raises(FactorizationError):
+            block.tuple_at(5)
+
+    def test_tuples_range(self):
+        block = FBlock.from_arrays(a=[1, 2, 3])
+        assert block.tuples(1, 3) == [(2,), (3,)]
+
+    def test_mixed_lazy_and_eager(self):
+        base = np.arange(10, dtype=np.int64)
+        lazy = LazyNeighborColumn("n", base, np.asarray([0]), np.asarray([3]))
+        block = FBlock([lazy])
+        block.add_column(Column("x", DataType.INT64, [7, 8, 9]))
+        assert block.tuple_at(2) == (2, 9)
+
+    def test_replace_column(self):
+        block = FBlock([Column("a", DataType.INT64, [1, 2])])
+        block.replace_column(Column("a", DataType.INT64, [3, 4]))
+        assert block.column("a").values().tolist() == [3, 4]
+
+    def test_replace_missing_rejected(self):
+        block = FBlock()
+        with pytest.raises(FactorizationError):
+            block.replace_column(Column("a", DataType.INT64, []))
+
+    def test_nbytes(self):
+        block = FBlock([Column("a", DataType.INT64, np.arange(4))])
+        assert block.nbytes == 32

@@ -1,0 +1,78 @@
+"""Cross-scale integration: datagen statistics, validation, and densification
+trends across every mini scale factor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.cypher import parse_cypher
+from repro.frontend.cypher.lexer import TokenType, tokenize
+from repro.ldbc import SCALE_FACTORS, generate, validate
+
+
+@pytest.fixture(scope="module")
+def small_scales():
+    return {name: generate(name, seed=42) for name in ("SF1", "SF10")}
+
+
+class TestScaleTrends:
+    def test_entity_counts_grow_with_scale(self, small_scales):
+        sf1, sf10 = small_scales["SF1"].info, small_scales["SF10"].info
+        assert sf10.num_persons > sf1.num_persons
+        assert sf10.num_messages > sf1.num_messages
+        assert sf10.num_knows_pairs > sf1.num_knows_pairs
+
+    def test_densification(self, small_scales):
+        """Average degree grows with scale (the paper's SF trend)."""
+        def avg_degree(dataset):
+            return 2 * dataset.info.num_knows_pairs / dataset.info.num_persons
+
+        assert avg_degree(small_scales["SF10"]) > avg_degree(small_scales["SF1"])
+
+    def test_all_scale_names_generate(self):
+        # SF30/SF100/SF300 are exercised by the benchmarks; here just check
+        # the parameters are well-formed and ordered.
+        persons = [SCALE_FACTORS[n].persons for n in ("SF1", "SF10", "SF30", "SF100", "SF300")]
+        degrees = [SCALE_FACTORS[n].avg_degree for n in ("SF1", "SF10", "SF30", "SF100", "SF300")]
+        assert persons == sorted(persons)
+        assert degrees == sorted(degrees)
+
+
+class TestCrossScaleValidation:
+    @pytest.mark.parametrize("scale", ["SF1", "SF10"])
+    def test_engines_agree(self, scale, small_scales):
+        report = validate(small_scales[scale], draws=1, seed=3)
+        assert report.passed, f"{scale}: {report.summary()}"
+
+
+class TestCypherRoundTripProperties:
+    @given(st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True))
+    @settings(max_examples=60, deadline=None)
+    def test_identifiers_tokenize_round_trip(self, name):
+        tokens = tokenize(name)
+        if tokens[0].type is TokenType.KEYWORD:
+            return  # reserved words are keywords, not identifiers
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == name
+
+    @given(st.integers(0, 10**12))
+    @settings(max_examples=40, deadline=None)
+    def test_integer_literals_round_trip(self, value):
+        query = parse_cypher(f"MATCH (p:Person) WHERE p.id = {value} RETURN id(p)")
+        where = query.clauses[0].where
+        assert where.right.value == value
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="'\\\n", min_codepoint=32,
+                                          max_codepoint=126), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_string_literals_round_trip(self, text):
+        query = parse_cypher(f"MATCH (p:Person) WHERE p.name = '{text}' RETURN id(p)")
+        assert query.clauses[0].where.right.value == text
+
+    @given(st.integers(1, 4), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_hop_ranges_round_trip(self, lo, extra):
+        hi = lo + extra
+        query = parse_cypher(f"MATCH (a:Person)-[:KNOWS*{lo}..{hi}]->(b) RETURN id(b)")
+        rel = query.clauses[0].path.rels[0]
+        assert (rel.min_hops, rel.max_hops) == (lo, hi)

@@ -1,0 +1,167 @@
+"""Tests for the SNB schema and the deterministic data generator."""
+
+import numpy as np
+import pytest
+
+from repro.ldbc.datagen import SCALE_FACTORS, SIM_END, SIM_START, generate, resolve_scale
+from repro.ldbc.schema import ID_BASE, build_snb_schema
+from repro.storage.catalog import AdjacencyKey, Direction
+
+
+class TestSchema:
+    def test_all_labels_present(self):
+        schema = build_snb_schema()
+        assert set(schema.vertex_labels) == {
+            "Person", "Message", "Forum", "Tag", "TagClass", "Place", "Organisation",
+        }
+
+    def test_polymorphic_has_tag(self):
+        schema = build_snb_schema()
+        assert len(schema.edge_definitions("HAS_TAG")) == 2
+
+    def test_is_located_in_three_sources(self):
+        schema = build_snb_schema()
+        assert len(schema.edge_definitions("IS_LOCATED_IN")) == 3
+
+    def test_knows_has_creation_date(self):
+        schema = build_snb_schema()
+        definition = schema.edge_definition("KNOWS", "Person", "Person")
+        assert definition.property("creationDate") is not None
+
+    def test_id_bases_disjoint(self):
+        bases = sorted(ID_BASE.values())
+        assert len(set(bases)) == len(bases)
+
+
+class TestScales:
+    def test_known_scale_factors(self):
+        assert set(SCALE_FACTORS) == {"SF1", "SF10", "SF30", "SF100", "SF300"}
+
+    def test_scales_are_increasing(self):
+        sizes = [SCALE_FACTORS[name].persons for name in ("SF1", "SF10", "SF30", "SF100", "SF300")]
+        assert sizes == sorted(sizes)
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_scale("SF9000")
+
+
+class TestGeneration:
+    def test_determinism(self, sf1_dataset):
+        again = generate("SF1", seed=42)
+        assert again.info.num_messages == sf1_dataset.info.num_messages
+        assert again.info.num_knows_pairs == sf1_dataset.info.num_knows_pairs
+        ours = sf1_dataset.store.table("Person").gather(
+            "firstName", np.arange(10)
+        )
+        theirs = again.store.table("Person").gather("firstName", np.arange(10))
+        assert ours.tolist() == theirs.tolist()
+
+    def test_seed_changes_graph(self):
+        other = generate("SF1", seed=1)
+        base = generate("SF1", seed=42)
+        assert (
+            other.info.num_messages != base.info.num_messages
+            or other.info.num_knows_pairs != base.info.num_knows_pairs
+        )
+
+    def test_info_counts_match_store(self, sf1_dataset):
+        store, info = sf1_dataset.store, sf1_dataset.info
+        assert len(store.table("Person")) == info.num_persons
+        assert len(store.table("Message")) == info.num_messages
+        assert len(store.table("Forum")) == info.num_forums
+        assert info.num_posts + info.num_comments == info.num_messages
+
+    def test_knows_is_symmetric(self, sf1_dataset):
+        key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        for row in range(0, sf1_dataset.info.num_persons, 7):
+            for neighbor in view.neighbors(key, row):
+                assert row in view.neighbors(key, int(neighbor)).tolist()
+
+    def test_every_message_has_exactly_one_creator(self, sf1_dataset):
+        key = AdjacencyKey("Message", "HAS_CREATOR", "Person", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        for row in range(sf1_dataset.info.num_messages):
+            assert len(view.neighbors(key, row)) == 1
+
+    def test_posts_have_no_parent_and_comments_have_one(self, sf1_dataset):
+        reply = AdjacencyKey("Message", "REPLY_OF", "Message", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        is_post = sf1_dataset.store.table("Message").column("isPost").view()
+        for row in range(sf1_dataset.info.num_messages):
+            parents = view.neighbors(reply, row)
+            if is_post[row]:
+                assert len(parents) == 0
+            else:
+                assert len(parents) == 1
+
+    def test_comment_dates_after_parent(self, sf1_dataset):
+        reply = AdjacencyKey("Message", "REPLY_OF", "Message", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        dates = sf1_dataset.store.table("Message").column("creationDate").view()
+        for row in range(sf1_dataset.info.num_messages):
+            for parent in view.neighbors(reply, row):
+                assert dates[row] > dates[int(parent)]
+
+    def test_dates_inside_window(self, sf1_dataset):
+        dates = sf1_dataset.store.table("Message").column("creationDate").view()
+        assert dates.min() >= SIM_START
+        # Reply chains may run past the window end, but not unboundedly.
+        assert dates.max() < SIM_END + (SIM_END - SIM_START)
+
+    def test_posts_are_contained_in_exactly_one_forum(self, sf1_dataset):
+        container = AdjacencyKey("Message", "CONTAINER_OF", "Forum", Direction.IN)
+        view = sf1_dataset.store.read_view()
+        is_post = sf1_dataset.store.table("Message").column("isPost").view()
+        for row in range(sf1_dataset.info.num_messages):
+            forums = view.neighbors(container, row)
+            assert len(forums) == (1 if is_post[row] else 0)
+
+    def test_every_person_located_in_city(self, sf1_dataset):
+        located = AdjacencyKey("Person", "IS_LOCATED_IN", "Place", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        place_type = sf1_dataset.store.table("Place").column("type").view()
+        for row in range(sf1_dataset.info.num_persons):
+            cities = view.neighbors(located, row)
+            assert len(cities) == 1
+            assert place_type[int(cities[0])] == "city"
+
+    def test_place_hierarchy(self, sf1_dataset):
+        part_of = AdjacencyKey("Place", "IS_PART_OF", "Place", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        table = sf1_dataset.store.table("Place")
+        for row in view.all_rows("Place"):
+            row = int(row)
+            parents = view.neighbors(part_of, row)
+            kind = table.get_property(row, "type")
+            if kind == "city":
+                assert table.get_property(int(parents[0]), "type") == "country"
+            elif kind == "country":
+                assert table.get_property(int(parents[0]), "type") == "continent"
+            else:
+                assert len(parents) == 0
+
+    def test_forum_has_moderator(self, sf1_dataset):
+        moderator = AdjacencyKey("Forum", "HAS_MODERATOR", "Person", Direction.OUT)
+        view = sf1_dataset.store.read_view()
+        for row in range(sf1_dataset.info.num_forums):
+            assert len(view.neighbors(moderator, row)) == 1
+
+    def test_likes_have_dates_after_message(self, sf1_dataset):
+        likes = AdjacencyKey("Message", "LIKES", "Person", Direction.IN)
+        view = sf1_dataset.store.read_view()
+        adjacency = sf1_dataset.store.adjacency(likes)
+        dates = sf1_dataset.store.table("Message").column("creationDate").view()
+        checked = 0
+        for row in range(0, sf1_dataset.info.num_messages, 13):
+            for slot in view.neighbor_slots(likes, row):
+                assert adjacency.prop_at("creationDate", int(slot)) > dates[row]
+                checked += 1
+        assert checked > 0
+
+    def test_first_names_collide(self, sf1_dataset):
+        """IC1 needs multiple persons sharing a first name."""
+        names = sf1_dataset.store.table("Person").column("firstName").view()
+        values, counts = np.unique(np.asarray(names, dtype=str), return_counts=True)
+        assert counts.max() >= 2

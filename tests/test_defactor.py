@@ -1,0 +1,98 @@
+"""Tests for bulk de-factoring (materialization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, FBlock, FTree, IndexVector, materialize, materialize_rows
+from repro.types import DataType
+
+
+def chain_tree() -> FTree:
+    """r(2 entries) -> a(4) -> b(7): a pure chain."""
+    tree = FTree.single("r", FBlock.from_arrays(r=[0, 1]))
+    a = FBlock.from_arrays(a=[10, 11, 12, 13])
+    node_a = tree.add_child(
+        tree.root, "a", a, IndexVector(np.asarray([0, 2]), np.asarray([2, 4]))
+    )
+    b = FBlock.from_arrays(b=[20, 21, 22, 23, 24, 25, 26])
+    tree.add_child(
+        node_a, "b", b,
+        IndexVector(np.asarray([0, 2, 3, 5]), np.asarray([2, 3, 5, 7])),
+    )
+    return tree
+
+
+def branching_tree() -> FTree:
+    """r(2) with two children x(3) and y(4): tests the cross product."""
+    tree = FTree.single("r", FBlock.from_arrays(r=[0, 1]))
+    tree.add_child(
+        tree.root, "x", FBlock.from_arrays(x=[1, 2, 3]),
+        IndexVector(np.asarray([0, 1]), np.asarray([1, 3])),
+    )
+    tree.add_child(
+        tree.root, "y", FBlock.from_arrays(y=[5, 6, 7, 8]),
+        IndexVector(np.asarray([0, 2]), np.asarray([2, 4])),
+    )
+    return tree
+
+
+class TestChain:
+    def test_count(self):
+        assert chain_tree().num_tuples() == 7
+
+    def test_matches_enumeration(self):
+        tree = chain_tree()
+        assert materialize(tree).to_pylist() == list(tree.iter_tuples())
+
+    def test_selection_respected(self):
+        tree = chain_tree()
+        tree.node_of("a").and_selection(np.asarray([True, False, True, True]))
+        assert materialize(tree).to_pylist() == list(tree.iter_tuples())
+
+    def test_leaf_selection(self):
+        tree = chain_tree()
+        mask = np.asarray([True, False] * 3 + [True])
+        tree.node_of("b").and_selection(mask)
+        flat = materialize(tree)
+        assert len(flat) == tree.num_tuples()
+        assert all(row[2] in (20, 22, 24, 26) for row in flat.to_pylist())
+
+
+class TestBranching:
+    def test_cross_product_count(self):
+        # entry 0: 1 x * 2 y = 2; entry 1: 2 x * 2 y = 4
+        assert branching_tree().num_tuples() == 6
+
+    def test_matches_enumeration(self):
+        tree = branching_tree()
+        assert materialize(tree).to_pylist() == list(tree.iter_tuples())
+
+    def test_sibling_selection_interacts(self):
+        tree = branching_tree()
+        tree.node_of("x").and_selection(np.asarray([False, True, True]))
+        assert materialize(tree).to_pylist() == list(tree.iter_tuples())
+        assert tree.num_tuples() == 4
+
+
+class TestProjections:
+    def test_subset_of_attrs(self):
+        tree = chain_tree()
+        flat = materialize(tree, ["b", "r"])
+        assert flat.schema == ["b", "r"]
+        assert flat.to_pylist() == list(tree.iter_tuples(["b", "r"]))
+
+    def test_materialize_rows_shapes(self):
+        tree = chain_tree()
+        rows = materialize_rows(tree)
+        total = tree.num_tuples()
+        assert all(len(v) == total for v in rows.values())
+
+    def test_empty_tree(self):
+        tree = FTree.single("r", FBlock.from_arrays(r=[]))
+        assert materialize(tree).to_pylist() == []
+        assert tree.num_tuples() == 0
+
+    def test_all_filtered(self):
+        tree = chain_tree()
+        tree.root.and_selection(np.asarray([False, False]))
+        assert materialize(tree).to_pylist() == []

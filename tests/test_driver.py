@@ -1,0 +1,113 @@
+"""Tests for the LDBC benchmark driver."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, GES
+from repro.ldbc import BenchmarkDriver, generate
+from repro.ldbc.driver import DriverReport, OperationLog
+from repro.ldbc.params import INTERLEAVES
+
+
+@pytest.fixture(scope="module")
+def report():
+    dataset = generate("SF1", seed=42)
+    engine = GES(dataset.store, EngineConfig.ges_f_star())
+    driver = BenchmarkDriver(engine, dataset, seed=7)
+    return driver.run(num_operations=120)
+
+
+class TestSchedule:
+    def test_schedule_is_deterministic(self):
+        dataset = generate("SF1", seed=42)
+        engine = GES(dataset.store)
+        driver = BenchmarkDriver(engine, dataset, seed=7)
+        first = driver.build_schedule(50)
+        second = driver.build_schedule(50)
+        assert [op.name for op in first] == [op.name for op in second]
+
+    def test_mix_contains_all_categories(self):
+        dataset = generate("SF1", seed=42)
+        driver = BenchmarkDriver(GES(dataset.store), dataset, seed=7)
+        schedule = driver.build_schedule(300)
+        categories = {op.category for op in schedule}
+        assert categories == {"IC", "IS", "IU"}
+
+    def test_frequencies_follow_interleaves(self):
+        """More-frequent queries (smaller interleave) appear more often."""
+        dataset = generate("SF1", seed=42)
+        driver = BenchmarkDriver(GES(dataset.store), dataset, seed=1)
+        schedule = driver.build_schedule(3000)
+        counts = {}
+        for op in schedule:
+            if op.category == "IC":
+                counts[op.name] = counts.get(op.name, 0) + 1
+        assert counts.get("IC11", 0) > counts.get("IC9", 0)  # 16 vs 157
+
+    def test_updates_can_be_disabled(self):
+        dataset = generate("SF1", seed=42)
+        driver = BenchmarkDriver(
+            GES(dataset.store), dataset, seed=7, include_updates=False
+        )
+        schedule = driver.build_schedule(100)
+        assert all(op.category != "IU" for op in schedule)
+
+
+class TestRun:
+    def test_all_operations_logged(self, report):
+        assert len(report.logs) == 120
+
+    def test_latencies_positive(self, report):
+        assert all(log.service_seconds >= 0 for log in report.logs)
+
+    def test_mean_latency(self, report):
+        some_is = next(log.name for log in report.logs if log.category == "IS")
+        assert report.mean_latency_ms(some_is) > 0
+
+    def test_percentiles_ordered(self, report):
+        name = next(log.name for log in report.logs if log.category == "IC")
+        assert report.percentile_latency_ms(name, 99) >= report.percentile_latency_ms(name, 50)
+
+    def test_counts_by_category(self, report):
+        assert report.count() == 120
+        assert report.count("IS") > report.count("IC")
+
+    def test_closed_loop_throughput_positive(self, report):
+        assert report.closed_loop_throughput > 0
+
+
+class TestThroughputScore:
+    def test_score_positive(self, report):
+        assert report.throughput_score(workers=1) > 0
+
+    def test_more_workers_higher_score(self, report):
+        one = report.throughput_score(workers=1)
+        four = report.throughput_score(workers=4)
+        assert four > one
+
+    def test_trace_windows(self, report):
+        rate = report.throughput_score(workers=2)
+        trace = report.throughput_trace(rate, workers=2, window_seconds=0.05)
+        assert "ALL" in trace
+        edges, values = trace["ALL"]
+        assert len(edges) == len(values)
+        # Total completed ops across all windows equals the stream size.
+        assert int(round(values.sum() * 0.05)) == 120
+
+
+class TestReportMath:
+    def test_synthetic_feasibility(self):
+        report = DriverReport("X", "SF1")
+        report.logs = [OperationLog("Q", "IC", 0.01, 1, 0) for _ in range(100)]
+        # 100 ops of 10 ms: one worker sustains ~100 ops/s (the finite run
+        # plus the 5% delay allowance lets a small backlog build, so the
+        # score can sit slightly above the steady-state bound).
+        score = report.throughput_score(workers=1)
+        assert 50 <= score <= 135
+
+    def test_two_workers_double_synthetic_score(self):
+        report = DriverReport("X", "SF1")
+        report.logs = [OperationLog("Q", "IC", 0.01, 1, 0) for _ in range(100)]
+        one = report.throughput_score(1)
+        two = report.throughput_score(2)
+        assert 1.5 <= two / one <= 2.5

@@ -1,0 +1,165 @@
+"""Edge cases and failure injection across the stack: empty graphs,
+missing seeks, degenerate pipelines, explain output."""
+
+import numpy as np
+import pytest
+
+from repro import GES, EngineConfig, GraphStore
+from repro.engine import open_all_variants
+from repro.baselines import VolcanoEngine
+from repro.errors import ExecutionError, ExpressionError, PlanError
+from repro.exec import execute_factorized, execute_flat
+from repro.plan import (
+    AggSpec,
+    Aggregate,
+    Col,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeScan,
+    OrderBy,
+    Project,
+    lit,
+    optimize,
+    param,
+)
+from repro.storage.catalog import Direction
+
+from tests.conftest import build_micro_schema
+
+
+@pytest.fixture
+def empty_store():
+    return GraphStore(build_micro_schema())
+
+
+def run_all(store, plan, params=None):
+    view = store.read_view()
+    flat = execute_flat(plan, view, params).rows
+    fact = execute_factorized(plan, view, params).rows
+    fused = execute_factorized(optimize(plan), view, params).rows
+    volcano = VolcanoEngine(store).execute(plan, params).rows
+    assert flat == fact == fused == volcano
+    return flat
+
+
+class TestEmptyGraph:
+    def test_scan_empty_label(self, empty_store):
+        assert run_all(empty_store, LogicalPlan([NodeScan("p", "Person")])) == []
+
+    def test_seek_missing_vertex(self, empty_store):
+        plan = LogicalPlan([NodeByIdSeek("p", "Person", lit(1))])
+        assert run_all(empty_store, plan) == []
+
+    def test_expand_from_empty(self, empty_store):
+        plan = LogicalPlan(
+            [NodeScan("p", "Person"), Expand("p", "f", "KNOWS", Direction.OUT)]
+        )
+        assert run_all(empty_store, plan) == []
+
+    def test_multi_hop_from_empty(self, empty_store):
+        plan = LogicalPlan(
+            [
+                NodeScan("p", "Person"),
+                Expand("p", "f", "KNOWS", Direction.OUT, max_hops=2, exclude_start=True),
+            ]
+        )
+        assert run_all(empty_store, plan) == []
+
+    def test_global_aggregate_over_empty(self, empty_store):
+        plan = LogicalPlan(
+            [NodeScan("p", "Person"), Aggregate([], [AggSpec("n", "count")])]
+        )
+        assert run_all(empty_store, plan) == [(0,)]
+
+    def test_grouped_aggregate_over_empty(self, empty_store):
+        plan = LogicalPlan(
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "firstName", "name"),
+                Aggregate(["name"], [AggSpec("n", "count")]),
+            ]
+        )
+        assert run_all(empty_store, plan) == []
+
+    def test_order_limit_over_empty(self, empty_store):
+        plan = LogicalPlan(
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "id", "pid"),
+                Project([("pid", Col("pid"))]),
+                OrderBy([("pid", True)]),
+                Limit(5),
+            ]
+        )
+        assert run_all(empty_store, plan) == []
+
+
+class TestDegeneratePipelines:
+    def test_filter_everything_away_then_expand(self, micro_store):
+        plan = LogicalPlan(
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "age", "age"),
+                Filter(Col("age") > lit(1000)),
+                Expand("p", "f", "KNOWS", Direction.OUT),
+                GetProperty("f", "firstName", "name"),
+            ],
+            returns=["name"],
+        )
+        assert run_all(micro_store, plan) == []
+
+    def test_limit_zero(self, micro_store):
+        plan = LogicalPlan([NodeScan("p", "Person"), Limit(0)])
+        assert run_all(micro_store, plan) == []
+
+    def test_limit_larger_than_input(self, micro_store):
+        plan = LogicalPlan([NodeScan("p", "Person"), Limit(100)])
+        assert len(run_all(micro_store, plan)) == 5
+
+    def test_double_expand_same_edge(self, micro_store):
+        plan = LogicalPlan(
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "f", "KNOWS", Direction.OUT),
+                Expand("f", "g", "KNOWS", Direction.OUT),
+                GetProperty("g", "id", "gid"),
+                Project([("gid", Col("gid"))]),
+                OrderBy([("gid", True)]),
+            ],
+            returns=["gid"],
+        )
+        # friends-of-friends WITHOUT dedup: paths (0,1,0),(0,1,3),(0,2,0),(0,2,4)
+        assert run_all(micro_store, plan) == [(0,), (0,), (3,), (4,)]
+
+    def test_unbound_param_raises(self, micro_store):
+        plan = LogicalPlan([NodeByIdSeek("p", "Person", param("missing"))])
+        with pytest.raises(ExpressionError):
+            execute_flat(plan, micro_store.read_view(), {})
+
+    def test_filter_on_missing_column(self, micro_store):
+        plan = LogicalPlan([NodeScan("p", "Person"), Filter(Col("ghost") > lit(0))])
+        with pytest.raises(Exception):
+            execute_flat(plan, micro_store.read_view())
+
+
+class TestExplain:
+    def test_explain_marks_fusions(self, micro_store):
+        engine = GES(micro_store, EngineConfig.ges_f_star())
+        text = engine.explain(
+            "MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 0 AND f.age > 20 "
+            "RETURN id(f) AS fid ORDER BY fid LIMIT 3"
+        )
+        assert "[fused]" in text
+        assert "GES_f*" in text
+
+    def test_explain_unfused_variant(self, micro_store):
+        engine = GES(micro_store, EngineConfig.ges_f())
+        text = engine.explain(
+            "MATCH (p:Person) RETURN id(p) AS pid ORDER BY pid LIMIT 3"
+        )
+        assert "TopK" not in text
+        assert "OrderBy" in text

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run end-to-end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "GES_f*" in out
+    assert "persons after insert: 6" in out
+
+
+def test_social_recommendation(capsys):
+    out = run_example("social_recommendation.py", capsys)
+    assert "content feed" in out
+    assert "more" in out  # the flat-vs-factorized memory comparison line
+
+
+def test_fraud_detection(capsys):
+    out = run_example("fraud_detection.py", capsys)
+    assert "transfer rings" in out
+    assert "7 -> 8" in out  # the planted burst
+
+
+@pytest.mark.slow
+def test_benchmark_tour(capsys):
+    out = run_example("benchmark_tour.py", capsys)
+    assert "LDBC SNB Interactive" in out
+    assert "workers" in out
+
+
+def test_graph_analytics(capsys):
+    out = run_example("graph_analytics.py", capsys)
+    assert "most influential members" in out
+    assert "triangles in the friendship graph" in out

@@ -1,0 +1,135 @@
+"""Tests for the shared expansion machinery (vectorized fast paths,
+multi-hop BFS, pushdown application, optional padding)."""
+
+import numpy as np
+import pytest
+
+from repro.exec.expand_util import (
+    ExpandBatch,
+    _multi_hop_per_source,
+    _vectorized_single_hop,
+    expand_batch,
+    resolve_expand_keys,
+)
+from repro.plan import Col, Expand, lit
+from repro.storage.catalog import AdjacencyKey, Direction
+from repro.types import NULL_INT
+
+KNOWS = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+
+
+def batch(micro_store, op, rows, from_label="Person", to_label="Person", params=None):
+    view = micro_store.read_view()
+    return expand_batch(view, op, np.asarray(rows, dtype=np.int64), from_label,
+                        to_label, params or {})
+
+
+class TestVectorizedSingleHop:
+    def test_matches_loop_path(self, micro_store):
+        view = micro_store.read_view()
+        out = _vectorized_single_hop(view, KNOWS, np.asarray([0, 1, 3]), {})
+        assert out.counts.tolist() == [2, 2, 1]
+        assert out.neighbors.tolist() == [1, 2, 3, 0, 1]
+
+    def test_null_and_out_of_range_sources(self, micro_store):
+        view = micro_store.read_view()
+        out = _vectorized_single_hop(view, KNOWS, np.asarray([NULL_INT, 0, 999]), {})
+        assert out.counts.tolist() == [0, 2, 0]
+
+    def test_edge_props_aligned(self, micro_store):
+        view = micro_store.read_view()
+        out = _vectorized_single_hop(view, KNOWS, np.asarray([0]), {"since": "since"})
+        dtype, values = out.extra["since"]
+        assert values.tolist() == [10, 20]
+
+    def test_empty_batch(self, micro_store):
+        view = micro_store.read_view()
+        out = _vectorized_single_hop(view, KNOWS, np.empty(0, dtype=np.int64),
+                                     {"since": "since"})
+        assert out.total == 0
+        assert out.extra["since"][1].tolist() == []
+
+
+class TestExpandBatch:
+    def test_fallback_after_tombstone(self, micro_store):
+        from repro.storage.graph import VertexRef
+
+        micro_store.remove_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 1))
+        op = Expand("p", "f", "KNOWS", Direction.OUT)
+        out = batch(micro_store, op, [0])
+        assert out.neighbors.tolist() == [2]
+
+    def test_neighbor_props_gathered(self, micro_store):
+        op = Expand("p", "f", "KNOWS", Direction.OUT, neighbor_props={"age": "age"})
+        out = batch(micro_store, op, [0])
+        assert out.extra["age"][1].tolist() == [25, 35]
+
+    def test_neighbor_filter_recomputes_counts(self, micro_store):
+        op = Expand(
+            "p", "f", "KNOWS", Direction.OUT,
+            neighbor_props={"age": "age"},
+            neighbor_filter=Col("age") > lit(26),
+        )
+        out = batch(micro_store, op, [0, 1])
+        # p0 keeps only person 2 (35); p1 keeps only person 0 (30).
+        assert out.counts.tolist() == [1, 1]
+        assert out.neighbors.tolist() == [2, 0]
+
+    def test_optional_padding(self, micro_store):
+        op = Expand("p", "m", "HAS_CREATOR", Direction.IN, to_label="Message",
+                    optional=True)
+        out = batch(micro_store, op, [0, 1], to_label="Message")
+        assert out.counts.tolist() == [1, 1]
+        assert out.neighbors[0] == NULL_INT
+        assert out.neighbors[1] == 0  # message m0 by person 1
+
+    def test_optional_padding_fills_extra_columns(self, micro_store):
+        op = Expand("p", "f", "KNOWS", Direction.OUT, optional=True,
+                    edge_props={"since": "since"})
+        # Give person 0 a filter that kills everything via neighbor_filter.
+        op = Expand(
+            "p", "f", "KNOWS", Direction.OUT, optional=True,
+            edge_props={"since": "since"},
+            neighbor_props={"age": "age"},
+            neighbor_filter=Col("age") > lit(100),
+        )
+        out = batch(micro_store, op, [0])
+        assert out.counts.tolist() == [1]
+        assert out.neighbors[0] == NULL_INT
+        assert out.extra["age"][1][0] == NULL_INT
+
+
+class TestMultiHop:
+    def test_vectorized_and_generic_agree(self, micro_store):
+        view = micro_store.read_view()
+        op = Expand("p", "f", "KNOWS", Direction.OUT, min_hops=1, max_hops=2,
+                    exclude_start=True)
+        fast = _multi_hop_per_source(view, [KNOWS], 0, op)
+        assert fast.tolist() == [1, 2, 3, 4]
+
+    def test_exact_depth(self, micro_store):
+        view = micro_store.read_view()
+        op = Expand("p", "f", "KNOWS", Direction.OUT, min_hops=2, max_hops=2,
+                    exclude_start=True)
+        assert _multi_hop_per_source(view, [KNOWS], 0, op).tolist() == [3, 4]
+
+    def test_start_never_rereached(self, micro_store):
+        view = micro_store.read_view()
+        op = Expand("p", "f", "KNOWS", Direction.OUT, min_hops=1, max_hops=3,
+                    exclude_start=True)
+        reached = _multi_hop_per_source(view, [KNOWS], 0, op).tolist()
+        assert 0 not in reached
+
+    def test_isolated_vertex(self, micro_store):
+        ref = micro_store.add_vertex("Person", {"id": 500, "firstName": "L", "age": 1})
+        view = micro_store.read_view()
+        op = Expand("p", "f", "KNOWS", Direction.OUT, max_hops=2, exclude_start=True)
+        assert _multi_hop_per_source(view, [KNOWS], ref.row, op).tolist() == []
+
+
+class TestResolveKeys:
+    def test_in_direction(self, micro_store):
+        view = micro_store.read_view()
+        op = Expand("p", "m", "HAS_CREATOR", Direction.IN, to_label="Message")
+        keys = resolve_expand_keys(view, op, "Person")
+        assert keys == [AdjacencyKey("Person", "HAS_CREATOR", "Message", Direction.IN)]

@@ -1,0 +1,217 @@
+"""Tests for the expression engine (vectorized + row evaluation agreement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExpressionError
+from repro.plan.expressions import (
+    Arith,
+    BoolOp,
+    Cmp,
+    Col,
+    Func,
+    InSet,
+    IsNull,
+    Lit,
+    Not,
+    Param,
+    col,
+    lit,
+    param,
+)
+from repro.types import DataType, NULL_INT, date_millis
+
+
+class DictResolver:
+    def __init__(self, arrays, dtypes=None):
+        self._arrays = {k: np.asarray(v) for k, v in arrays.items()}
+        self._dtypes = dtypes or {}
+
+    def resolve(self, name):
+        return self._arrays[name]
+
+    def dtype_of(self, name):
+        return self._dtypes.get(name, DataType.INT64)
+
+
+RESOLVER = DictResolver({"a": [1, 2, 3, NULL_INT], "b": [3, 2, 1, 5]})
+
+
+class TestBasics:
+    def test_col_block(self):
+        assert Col("a").eval_block(RESOLVER, {}).tolist() == [1, 2, 3, NULL_INT]
+
+    def test_col_row(self):
+        assert Col("a").eval_row({"a": 7}, {}) == 7
+
+    def test_col_row_missing_raises(self):
+        with pytest.raises(ExpressionError):
+            Col("a").eval_row({}, {})
+
+    def test_lit(self):
+        assert Lit(5).eval_block(RESOLVER, {}) == 5
+        assert Lit(5).eval_row({}, {}) == 5
+
+    def test_param(self):
+        assert Param("x").eval_row({}, {"x": 9}) == 9
+
+    def test_unbound_param_raises(self):
+        with pytest.raises(ExpressionError):
+            Param("x").eval_row({}, {})
+
+    def test_shorthands(self):
+        assert isinstance(col("a"), Col)
+        assert isinstance(lit(1), Lit)
+        assert isinstance(param("p"), Param)
+
+
+class TestComparison:
+    def test_block_lt(self):
+        out = (Col("a") < Col("b")).eval_block(RESOLVER, {})
+        assert out.tolist() == [True, False, False, True]
+
+    def test_row_lt(self):
+        assert (Col("a") < Lit(2)).eval_row({"a": 1}, {})
+
+    def test_row_null_comparison_false(self):
+        assert not (Col("a") < Lit(10)).eval_row({"a": None}, {})
+
+    def test_eq_and_ne(self):
+        assert (Col("a") == Lit(2)).eval_block(RESOLVER, {}).tolist() == [
+            False, True, False, False,
+        ]
+        assert (Col("a") != Lit(2)).eval_row({"a": 3}, {})
+
+    def test_string_comparison(self):
+        resolver = DictResolver({"s": np.asarray(["x", "y"], dtype=object)})
+        out = (Col("s") == Lit("y")).eval_block(resolver, {})
+        assert out.tolist() == [False, True]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Cmp("~", Col("a"), Lit(1))
+
+    def test_dtype_is_bool(self):
+        assert (Col("a") < Lit(1)).infer_dtype(lambda c: DataType.INT64, {}) is DataType.BOOL
+
+
+class TestBoolOps:
+    def test_and(self):
+        expr = BoolOp("and", [Col("a") > Lit(1), Col("b") > Lit(1)])
+        assert expr.eval_block(RESOLVER, {}).tolist() == [False, True, False, False]
+
+    def test_or(self):
+        expr = BoolOp("or", [Col("a") == Lit(1), Col("b") == Lit(1)])
+        assert expr.eval_block(RESOLVER, {}).tolist() == [True, False, True, False]
+
+    def test_not(self):
+        expr = Not(Col("a") == Lit(1))
+        assert expr.eval_row({"a": 2}, {})
+
+    def test_columns_collected(self):
+        expr = BoolOp("and", [Col("a") > Lit(0), Col("b") < Col("c")])
+        assert expr.columns() == {"a", "b", "c"}
+
+    def test_invalid_boolop(self):
+        with pytest.raises(ExpressionError):
+            BoolOp("xor", [Lit(True)])
+
+
+class TestArith:
+    def test_block(self):
+        out = (Col("a") + Col("b")).eval_block(RESOLVER, {})
+        assert out[:3].tolist() == [4, 4, 4]
+
+    def test_row(self):
+        assert (Col("a") * Lit(3)).eval_row({"a": 2}, {}) == 6
+
+    def test_division_dtype_is_float(self):
+        expr = Arith("/", Col("a"), Lit(2))
+        assert expr.infer_dtype(lambda c: DataType.INT64, {}) is DataType.FLOAT64
+
+    def test_int_dtype_preserved(self):
+        expr = Col("a") - Lit(1)
+        assert expr.infer_dtype(lambda c: DataType.INT64, {}) is DataType.INT64
+
+
+class TestInSet:
+    def test_block_membership(self):
+        expr = InSet(Col("a"), Lit(frozenset({1, 3})))
+        assert expr.eval_block(RESOLVER, {}).tolist() == [True, False, True, False]
+
+    def test_negated(self):
+        expr = InSet(Col("a"), Lit(frozenset({1})), negate=True)
+        assert expr.eval_row({"a": 2}, {})
+
+    def test_param_set(self):
+        expr = InSet(Col("a"), Param("s"))
+        assert expr.eval_row({"a": 5}, {"s": frozenset({5})})
+
+    def test_object_values(self):
+        resolver = DictResolver({"s": np.asarray(["x", "y"], dtype=object)})
+        expr = InSet(Col("s"), Lit(frozenset({"y"})))
+        assert expr.eval_block(resolver, {}).tolist() == [False, True]
+
+    def test_empty_set(self):
+        expr = InSet(Col("a"), Lit(frozenset()))
+        assert expr.eval_block(RESOLVER, {}).tolist() == [False] * 4
+
+
+class TestIsNull:
+    def test_int_sentinel(self):
+        out = IsNull(Col("a")).eval_block(RESOLVER, {})
+        assert out.tolist() == [False, False, False, True]
+
+    def test_negated(self):
+        out = IsNull(Col("a"), negate=True).eval_block(RESOLVER, {})
+        assert out.tolist() == [True, True, True, False]
+
+    def test_object_none(self):
+        resolver = DictResolver({"s": np.asarray(["x", None], dtype=object)})
+        assert IsNull(Col("s")).eval_block(resolver, {}).tolist() == [False, True]
+
+    def test_float_nan(self):
+        resolver = DictResolver({"f": np.asarray([1.0, float("nan")])})
+        assert IsNull(Col("f")).eval_block(resolver, {}).tolist() == [False, True]
+
+    def test_row(self):
+        assert IsNull(Col("x")).eval_row({"x": None}, {})
+
+
+class TestFuncs:
+    def test_year_month_day(self):
+        millis = date_millis(2012, 6, 15)
+        resolver = DictResolver({"d": [millis]})
+        assert Func("year", [Col("d")]).eval_block(resolver, {}).tolist() == [2012]
+        assert Func("month", [Col("d")]).eval_block(resolver, {}).tolist() == [6]
+        assert Func("day", [Col("d")]).eval_block(resolver, {}).tolist() == [15]
+
+    def test_row_mode_matches_block(self):
+        millis = date_millis(1999, 12, 31)
+        for unit in ("year", "month", "day"):
+            expr = Func(unit, [Col("d")])
+            block = expr.eval_block(DictResolver({"d": [millis]}), {})
+            assert expr.eval_row({"d": millis}, {}) == block[0]
+
+    def test_abs(self):
+        out = Func("abs", [Col("a")]).eval_block(DictResolver({"a": [-3, 4]}), {})
+        assert out.tolist() == [3, 4]
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            Func("frobnicate", [Lit(1)])
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=30),
+       st.integers(-100, 100))
+def test_block_and_row_eval_agree(values, threshold):
+    """Vectorized and tuple-at-a-time evaluation produce identical booleans."""
+    expr = BoolOp(
+        "or",
+        [Col("v") > Lit(threshold), BoolOp("and", [Col("v") < Lit(0), Not(Col("v") == Lit(-1))])],
+    )
+    resolver = DictResolver({"v": values})
+    block = expr.eval_block(resolver, {}).tolist()
+    rows = [expr.eval_row({"v": v}, {}) for v in values]
+    assert block == rows

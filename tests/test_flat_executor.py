@@ -1,0 +1,272 @@
+"""Per-operator tests of the flat executor on the micro graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import execute_flat
+from repro.plan import (
+    AggSpec,
+    Aggregate,
+    Col,
+    Distinct,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeByRows,
+    NodeScan,
+    OrderBy,
+    Project,
+    lit,
+    param,
+)
+from repro.storage.catalog import Direction
+
+
+def run(store, ops, returns=None, params=None):
+    return execute_flat(LogicalPlan(ops, returns=returns), store.read_view(), params)
+
+
+class TestSources:
+    def test_seek_found(self, micro_store):
+        result = run(micro_store, [NodeByIdSeek("p", "Person", lit(3))])
+        assert result.rows == [(3,)]
+
+    def test_seek_missing_is_empty(self, micro_store):
+        result = run(micro_store, [NodeByIdSeek("p", "Person", lit(999))])
+        assert result.rows == []
+
+    def test_seek_with_param(self, micro_store):
+        result = run(
+            micro_store, [NodeByIdSeek("p", "Person", param("k"))], params={"k": 2}
+        )
+        assert result.rows == [(2,)]
+
+    def test_scan(self, micro_store):
+        result = run(micro_store, [NodeScan("p", "Person")])
+        assert sorted(r[0] for r in result.rows) == [0, 1, 2, 3, 4]
+
+    def test_node_by_rows(self, micro_store):
+        result = run(
+            micro_store,
+            [NodeByRows("p", "Person", "rows")],
+            params={"rows": np.asarray([4, 1])},
+        )
+        assert [r[0] for r in result.rows] == [4, 1]
+
+    def test_mid_pipeline_source_rejected(self, micro_store):
+        with pytest.raises(ExecutionError):
+            run(micro_store, [Filter(Col("x") > lit(0))])
+
+
+class TestExpand:
+    def test_single_hop(self, micro_store):
+        result = run(
+            micro_store,
+            [NodeByIdSeek("p", "Person", lit(0)), Expand("p", "f", "KNOWS", Direction.OUT)],
+        )
+        assert sorted(r[1] for r in result.rows) == [1, 2]
+
+    def test_replication(self, micro_store):
+        # Two persons expand together: rows multiply per neighbor (Fig. 4).
+        result = run(
+            micro_store,
+            [
+                NodeByRows("p", "Person", "rows"),
+                Expand("p", "f", "KNOWS", Direction.OUT),
+            ],
+            params={"rows": np.asarray([0, 1])},
+        )
+        assert len(result.rows) == 2 + 2  # p0 has 2 friends, p1 has 2
+
+    def test_in_direction(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(2)),
+                Expand("p", "m", "HAS_CREATOR", Direction.IN, to_label="Message"),
+            ],
+        )
+        assert sorted(r[1] for r in result.rows) == [1, 2]
+
+    def test_edge_props(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "f", "KNOWS", Direction.OUT, edge_props={"since": "since"}),
+            ],
+            returns=["f", "since"],
+        )
+        assert sorted(result.rows) == [(1, 10), (2, 20)]
+
+    def test_multi_hop_excludes_start_and_dedups(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "f", "KNOWS", Direction.OUT, max_hops=2, exclude_start=True),
+            ],
+            returns=["f"],
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 2, 3, 4]
+
+    def test_exact_distance_two(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "f", "KNOWS", Direction.OUT, min_hops=2, max_hops=2,
+                       exclude_start=True),
+            ],
+            returns=["f"],
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 4]
+
+    def test_optional_expand_emits_null(self, micro_store):
+        # Person 0 created no messages.
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "m", "HAS_CREATOR", Direction.IN, to_label="Message",
+                       optional=True),
+            ],
+            returns=["m"],
+        )
+        assert result.rows == [(None,)]
+
+
+class TestScalarOps:
+    def test_get_property(self, micro_store):
+        result = run(
+            micro_store,
+            [NodeByIdSeek("p", "Person", lit(1)), GetProperty("p", "firstName", "n")],
+            returns=["n"],
+        )
+        assert result.rows == [("B",)]
+
+    def test_filter(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "age", "age"),
+                Filter(Col("age") > lit(28)),
+            ],
+            returns=["p"],
+        )
+        assert sorted(r[0] for r in result.rows) == [0, 2, 4]
+
+    def test_project_computed(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                GetProperty("p", "age", "age"),
+                Project([("double", Col("age") * lit(2))]),
+            ],
+        )
+        assert result.rows == [(60,)]
+
+    def test_order_by_limit(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeScan("m", "Message"),
+                GetProperty("m", "length", "len"),
+                OrderBy([("len", False)]),
+                Limit(2),
+            ],
+            returns=["len"],
+        )
+        assert result.rows == [(200,), (140,)]
+
+    def test_distinct(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "firstName", "n"),
+                Distinct(["n"]),
+            ],
+        )
+        assert sorted(r[0] for r in result.rows) == ["A", "B", "C", "E"]
+
+
+class TestAggregate:
+    def test_count_star_grouped(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeScan("m", "Message"),
+                Expand("m", "c", "HAS_CREATOR", Direction.OUT, to_label="Person"),
+                GetProperty("c", "id", "cid"),
+                Aggregate(["cid"], [AggSpec("n", "count")]),
+                OrderBy([("cid", True)]),
+            ],
+            returns=["cid", "n"],
+        )
+        assert result.rows == [(1, 1), (2, 2), (3, 2), (4, 1)]
+
+    def test_global_aggregate_on_empty_input(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeByIdSeek("p", "Person", lit(999)),
+                Aggregate([], [AggSpec("n", "count")]),
+            ],
+        )
+        assert result.rows == [(0,)]
+
+    def test_sum_min_max_avg(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeScan("m", "Message"),
+                GetProperty("m", "length", "len"),
+                Aggregate(
+                    [],
+                    [
+                        AggSpec("s", "sum", "len"),
+                        AggSpec("lo", "min", "len"),
+                        AggSpec("hi", "max", "len"),
+                        AggSpec("mean", "avg", "len"),
+                    ],
+                ),
+            ],
+        )
+        s, lo, hi, mean = result.rows[0]
+        assert (s, lo, hi) == (803, 90, 200)
+        assert abs(mean - 803 / 6) < 1e-9
+
+    def test_count_distinct(self, micro_store):
+        result = run(
+            micro_store,
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "firstName", "n"),
+                Aggregate([], [AggSpec("d", "count_distinct", "n")]),
+            ],
+        )
+        assert result.rows == [(4,)]
+
+
+class TestStats:
+    def test_op_times_recorded(self, micro_store):
+        result = run(micro_store, [NodeScan("p", "Person")])
+        assert "NodeScan" in result.stats.op_times
+
+    def test_peak_bytes_positive(self, micro_store):
+        result = run(
+            micro_store,
+            [NodeScan("p", "Person"), GetProperty("p", "firstName", "n")],
+        )
+        assert result.stats.peak_intermediate_bytes > 0
+
+    def test_unknown_return_column_rejected(self, micro_store):
+        with pytest.raises(ExecutionError):
+            run(micro_store, [NodeScan("p", "Person")], returns=["ghost"])

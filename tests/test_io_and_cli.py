@@ -1,0 +1,109 @@
+"""Tests for graph snapshots (save/load) and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import StorageError
+from repro.exec import execute_factorized
+from repro.ldbc import generate
+from repro.plan import LogicalPlan, NodeScan
+from repro.storage import load_graph, save_graph
+from repro.storage.catalog import AdjacencyKey, Direction
+
+
+class TestSnapshots:
+    def test_round_trip_counts(self, micro_store, tmp_path):
+        save_graph(micro_store, tmp_path / "snap")
+        loaded = load_graph(tmp_path / "snap")
+        assert loaded.vertex_count == micro_store.vertex_count
+        assert loaded.edge_count == micro_store.edge_count
+
+    def test_round_trip_properties(self, micro_store, tmp_path):
+        loaded = load_graph(save_graph(micro_store, tmp_path / "snap"))
+        table = loaded.table("Person")
+        assert table.get_property(1, "firstName") == "B"
+        assert table.row_for_key(3) == 3
+
+    def test_round_trip_adjacency_and_edge_props(self, micro_store, tmp_path):
+        loaded = load_graph(save_graph(micro_store, tmp_path / "snap"))
+        key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        view = loaded.read_view()
+        assert sorted(view.neighbors(key, 0).tolist()) == [1, 2]
+        adjacency = loaded.adjacency(key)
+        slots = view.neighbor_slots(key, 0)
+        assert sorted(adjacency.gather_prop("since", slots).tolist()) == [10, 20]
+
+    def test_round_trip_excludes_tombstones(self, micro_store, tmp_path):
+        from repro.storage.graph import VertexRef
+
+        micro_store.remove_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 1))
+        loaded = load_graph(save_graph(micro_store, tmp_path / "snap"))
+        key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        assert loaded.read_view().neighbors(key, 0).tolist() == [2]
+        # The reloaded store is compact again: pointer joins re-enabled.
+        assert loaded.adjacency(key).supports_segments
+
+    def test_round_trip_sf1_query_equivalence(self, sf1_dataset, tmp_path):
+        save_graph(sf1_dataset.store, tmp_path / "sf1")
+        loaded = load_graph(tmp_path / "sf1")
+        plan = LogicalPlan([NodeScan("p", "Person")])
+        original = execute_factorized(plan, sf1_dataset.store.read_view()).rows
+        reloaded = execute_factorized(plan, loaded.read_view()).rows
+        assert original == reloaded
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_graph(tmp_path / "nope")
+
+    def test_export_edges_shape(self, micro_store):
+        key = AdjacencyKey("Message", "HAS_CREATOR", "Person", Direction.OUT)
+        src, dst, props = micro_store.adjacency(key).export_edges()
+        assert len(src) == len(dst) == 6
+        assert props == {}
+
+
+class TestCli:
+    def test_generate(self, capsys, tmp_path):
+        assert cli_main(["generate", "--scale", "SF1", "--out", str(tmp_path / "g")]) == 0
+        out = capsys.readouterr().out
+        assert "persons" in out and "snapshot written" in out
+
+    def test_query_on_scale(self, capsys):
+        code = cli_main(
+            ["query", "--scale", "SF1",
+             "MATCH (p:Person) RETURN count(*) AS n"]
+        )
+        assert code == 0
+        assert "150" in capsys.readouterr().out
+
+    def test_query_with_params(self, capsys):
+        code = cli_main(
+            ["query", "--scale", "SF1", "--param", "pid=1000",
+             "MATCH (p:Person) WHERE id(p) = $pid RETURN p.firstName AS name"]
+        )
+        assert code == 0
+        assert "name" in capsys.readouterr().out
+
+    def test_query_on_snapshot(self, capsys, tmp_path):
+        cli_main(["generate", "--scale", "SF1", "--out", str(tmp_path / "g")])
+        capsys.readouterr()
+        code = cli_main(
+            ["query", "--graph", str(tmp_path / "g"),
+             "MATCH (m:Message) RETURN count(*) AS n"]
+        )
+        assert code == 0
+
+    def test_bench(self, capsys):
+        assert cli_main(["bench", "--scale", "SF1", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "TCR score" in out and "IC:" in out
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "--scale", "SF1", "--variant", "Neo4j"])
+
+    def test_volcano_rejects_cypher(self):
+        with pytest.raises(SystemExit):
+            cli_main(["query", "--scale", "SF1", "--variant", "Volcano",
+                      "MATCH (p:Person) RETURN count(*) AS n"])

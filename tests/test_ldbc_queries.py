@@ -1,0 +1,233 @@
+"""Tests for the 29 LDBC workload queries: registry completeness, semantic
+spot checks, and agreement across all four engines on SF1."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VolcanoEngine
+from repro.engine import open_all_variants
+from repro.exec.base import ExecStats
+from repro.ldbc import REGISTRY, ParameterGenerator, queries_of
+from repro.ldbc.datagen import SIM_END, SIM_START, generate
+
+
+ALL_IC = [f"IC{i}" for i in range(1, 15)]
+ALL_IS = [f"IS{i}" for i in range(1, 8)]
+ALL_IU = [f"IU{i}" for i in range(1, 9)]
+
+
+class TestRegistry:
+    def test_all_queries_registered(self):
+        assert set(REGISTRY) == set(ALL_IC + ALL_IS + ALL_IU)
+
+    def test_categories(self):
+        assert len(queries_of("IC")) == 14
+        assert len(queries_of("IS")) == 7
+        assert len(queries_of("IU")) == 8
+
+    def test_descriptions_present(self):
+        assert all(q.description for q in REGISTRY.values())
+
+
+@pytest.fixture(scope="module")
+def engines(sf1_dataset):
+    out = open_all_variants(sf1_dataset.store)
+    out["Volcano"] = VolcanoEngine(sf1_dataset.store)
+    return out
+
+
+@pytest.fixture(scope="module")
+def param_gen(sf1_dataset):
+    return ParameterGenerator(sf1_dataset, seed=7)
+
+
+@pytest.mark.parametrize("name", ALL_IC + ALL_IS)
+def test_read_query_agrees_across_engines(name, engines, param_gen):
+    params = param_gen.params_for(name)
+    results = {
+        variant: REGISTRY[name].fn(engine, params, ExecStats())
+        for variant, engine in engines.items()
+    }
+    baseline = results["GES"]
+    for variant, rows in results.items():
+        assert rows == baseline, f"{variant} disagrees on {name}"
+
+
+class TestSemantics:
+    """Spot checks of query meaning, independent of the engines agreeing."""
+
+    def test_ic1_returns_only_matching_first_name(self, sf1_dataset, engines):
+        gen = ParameterGenerator(sf1_dataset, seed=11)
+        params = gen.params_for("IC1")
+        rows = REGISTRY["IC1"].fn(engines["GES_f*"], params, ExecStats())
+        table = sf1_dataset.store.table("Person")
+        for _, last_name, friend_id, _, _ in [(r[0], r[1], r[2], r[3], r[4]) for r in rows]:
+            row = table.row_for_key(friend_id)
+            assert table.get_property(row, "firstName") == params["firstName"]
+
+    def test_ic1_distances_ascending(self, engines, param_gen):
+        params = param_gen.params_for("IC1")
+        rows = REGISTRY["IC1"].fn(engines["GES_f*"], params, ExecStats())
+        distances = [r[0] for r in rows]
+        assert distances == sorted(distances)
+
+    def test_ic2_dates_bounded_and_sorted(self, engines, param_gen):
+        params = param_gen.params_for("IC2")
+        rows = REGISTRY["IC2"].fn(engines["GES_f*"], params, ExecStats())
+        dates = [r[5] for r in rows]
+        assert all(d <= params["maxDate"] for d in dates)
+        assert dates == sorted(dates, reverse=True)
+        assert len(rows) <= 20
+
+    def test_ic3_counts_positive_for_both_countries(self, engines, param_gen):
+        for _ in range(5):
+            params = param_gen.params_for("IC3")
+            rows = REGISTRY["IC3"].fn(engines["GES_f*"], params, ExecStats())
+            for _, x_count, y_count, total in rows:
+                assert x_count > 0 and y_count > 0
+                assert total == x_count + y_count
+
+    def test_ic5_counts_descending(self, engines, param_gen):
+        params = param_gen.params_for("IC5")
+        rows = REGISTRY["IC5"].fn(engines["GES_f*"], params, ExecStats())
+        counts = [r[2] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_ic6_excludes_query_tag(self, engines, param_gen):
+        for _ in range(5):
+            params = param_gen.params_for("IC6")
+            rows = REGISTRY["IC6"].fn(engines["GES_f*"], params, ExecStats())
+            assert all(r[0] != params["tagName"] for r in rows)
+
+    def test_ic7_is_new_flag(self, sf1_dataset, engines, param_gen):
+        from repro.storage.catalog import AdjacencyKey, Direction
+
+        params = param_gen.params_for("IC7")
+        rows = REGISTRY["IC7"].fn(engines["GES_f*"], params, ExecStats())
+        view = sf1_dataset.store.read_view()
+        person_row = view.vertex_by_key("Person", params["personId"])
+        knows = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        friend_ids = {
+            view.vertex_key("Person", int(r))
+            for r in view.neighbors(knows, person_row)
+        }
+        for liker_id, _, _, _, is_new in rows:
+            assert is_new == (liker_id not in friend_ids)
+
+    def test_ic9_respects_max_date(self, engines, param_gen):
+        params = param_gen.params_for("IC9")
+        rows = REGISTRY["IC9"].fn(engines["GES_f*"], params, ExecStats())
+        assert all(r[5] < params["maxDate"] for r in rows)
+        assert len(rows) <= 20
+
+    def test_ic10_scores_descending(self, engines, param_gen):
+        params = param_gen.params_for("IC10")
+        rows = REGISTRY["IC10"].fn(engines["GES_f*"], params, ExecStats())
+        scores = [r[2] for r in rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ic13_symmetric(self, engines, param_gen):
+        params = param_gen.params_for("IC13")
+        forward = REGISTRY["IC13"].fn(engines["GES_f*"], params, ExecStats())
+        backward = REGISTRY["IC13"].fn(
+            engines["GES_f*"],
+            {"person1Id": params["person2Id"], "person2Id": params["person1Id"]},
+            ExecStats(),
+        )
+        assert forward == backward
+
+    def test_ic14_paths_start_and_end_correctly(self, engines, param_gen):
+        params = param_gen.params_for("IC14")
+        rows = REGISTRY["IC14"].fn(engines["GES_f*"], params, ExecStats())
+        for path, _ in rows:
+            ids = [int(x) for x in path.split(",")]
+            assert ids[0] == params["person1Id"]
+            assert ids[-1] == params["person2Id"]
+
+    def test_is1_profile_fields(self, sf1_dataset, engines, param_gen):
+        params = param_gen.params_for("IS1")
+        rows = REGISTRY["IS1"].fn(engines["GES_f*"], params, ExecStats())
+        assert len(rows) == 1
+        table = sf1_dataset.store.table("Person")
+        row = table.row_for_key(params["personId"])
+        assert rows[0][0] == table.get_property(row, "firstName")
+
+    def test_is3_sorted_by_friendship_date(self, engines, param_gen):
+        params = param_gen.params_for("IS3")
+        rows = REGISTRY["IS3"].fn(engines["GES_f*"], params, ExecStats())
+        dates = [r[3] for r in rows]
+        assert dates == sorted(dates, reverse=True)
+
+
+class TestUpdates:
+    """IU queries run against a fresh store (they mutate)."""
+
+    @pytest.fixture
+    def fresh(self):
+        dataset = generate("SF1", seed=42)
+        engines = open_all_variants(dataset.store)
+        return dataset, engines["GES_f*"], ParameterGenerator(dataset, seed=3)
+
+    def test_iu1_adds_person(self, fresh):
+        dataset, engine, gen = fresh
+        params = gen.params_for("IU1")
+        REGISTRY["IU1"].fn(engine, params, ExecStats())
+        assert engine.read_view().vertex_by_key("Person", params["personId"]) is not None
+
+    def test_iu2_like_visible_in_ic7(self, fresh):
+        dataset, engine, gen = fresh
+        params = gen.params_for("IU2")
+        REGISTRY["IU2"].fn(engine, params, ExecStats())
+        from repro.storage.catalog import AdjacencyKey, Direction
+
+        view = engine.read_view()
+        person_row = view.vertex_by_key("Person", params["personId"])
+        likes = AdjacencyKey("Person", "LIKES", "Message", Direction.OUT)
+        message_row = view.vertex_by_key("Message", params["messageId"])
+        assert message_row in view.neighbors(likes, person_row).tolist()
+
+    def test_iu6_post_queryable(self, fresh):
+        dataset, engine, gen = fresh
+        params = gen.params_for("IU6")
+        REGISTRY["IU6"].fn(engine, params, ExecStats())
+        rows = REGISTRY["IS4"].fn(engine, {"messageId": params["postId"]}, ExecStats())
+        assert rows == [(params["creationDate"], params["content"])]
+
+    def test_iu7_comment_linked_to_parent(self, fresh):
+        dataset, engine, gen = fresh
+        params = gen.params_for("IU7")
+        REGISTRY["IU7"].fn(engine, params, ExecStats())
+        from repro.storage.catalog import AdjacencyKey, Direction
+
+        view = engine.read_view()
+        comment = view.vertex_by_key("Message", params["commentId"])
+        reply = AdjacencyKey("Message", "REPLY_OF", "Message", Direction.OUT)
+        parent = view.vertex_by_key("Message", params["replyToId"])
+        assert view.neighbors(reply, comment).tolist() == [parent]
+
+    def test_iu8_friendship_symmetric(self, fresh):
+        dataset, engine, gen = fresh
+        params = gen.params_for("IU8")
+        REGISTRY["IU8"].fn(engine, params, ExecStats())
+        from repro.storage.catalog import AdjacencyKey, Direction
+
+        view = engine.read_view()
+        a = view.vertex_by_key("Person", params["person1Id"])
+        b = view.vertex_by_key("Person", params["person2Id"])
+        knows = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        assert b in view.neighbors(knows, a).tolist()
+        assert a in view.neighbors(knows, b).tolist()
+
+    def test_updates_preserve_read_query_agreement(self, fresh):
+        """After a batch of updates, all engines still agree on reads."""
+        dataset, engine, gen = fresh
+        for name in ALL_IU:
+            REGISTRY[name].fn(engine, gen.params_for(name), ExecStats())
+        engines = open_all_variants(dataset.store)
+        for name in ("IC2", "IC9", "IS2", "IS3"):
+            params = gen.params_for(name)
+            results = {
+                v: REGISTRY[name].fn(e, params, ExecStats()) for v, e in engines.items()
+            }
+            baseline = results["GES"]
+            assert all(r == baseline for r in results.values()), name

@@ -1,0 +1,81 @@
+"""Tests for the copy-on-write memory pool."""
+
+import numpy as np
+
+from repro.storage.memory_pool import MemoryPool, _size_class
+from repro.types import DataType
+
+
+class TestSizeClass:
+    def test_minimum(self):
+        assert _size_class(1) == 8
+
+    def test_power_of_two(self):
+        assert _size_class(8) == 8
+        assert _size_class(9) == 16
+        assert _size_class(1000) == 1024
+
+
+class TestMemoryPool:
+    def test_acquire_returns_large_enough_buffer(self):
+        pool = MemoryPool()
+        buf = pool.acquire(10)
+        assert len(buf) >= 10
+        assert buf.dtype == np.int64
+
+    def test_release_then_reuse_hits(self):
+        pool = MemoryPool()
+        buf = pool.acquire(10)
+        pool.release(buf)
+        again = pool.acquire(10)
+        assert again is buf
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_hit_rate(self):
+        pool = MemoryPool()
+        buf = pool.acquire(8)
+        pool.release(buf)
+        pool.acquire(8)
+        assert pool.hit_rate == 0.5
+
+    def test_different_dtypes_do_not_mix(self):
+        pool = MemoryPool()
+        buf = pool.acquire(8, DataType.FLOAT64)
+        pool.release(buf)
+        other = pool.acquire(8, DataType.INT64)
+        assert other is not buf
+
+    def test_non_pool_buffer_ignored_on_release(self):
+        pool = MemoryPool()
+        pool.release(np.empty(7, dtype=np.int64))  # not a size class
+        assert pool.pooled_buffers == 0
+
+    def test_max_per_class_cap(self):
+        pool = MemoryPool(max_buffers_per_class=2)
+        buffers = [pool.acquire(8) for _ in range(4)]
+        for buf in buffers:
+            pool.release(buf)
+        assert pool.pooled_buffers == 2
+
+    def test_clear(self):
+        pool = MemoryPool()
+        pool.release(pool.acquire(16))
+        pool.clear()
+        assert pool.pooled_buffers == 0
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        pool = MemoryPool()
+
+        def worker():
+            for _ in range(200):
+                pool.release(pool.acquire(32))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert pool.hits + pool.misses == 800

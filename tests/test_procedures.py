@@ -1,0 +1,129 @@
+"""Tests for stored procedures (IC13/IC14 machinery), verified against
+networkx as an independent oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.procedures import (
+    _enumerate_shortest_paths,
+    get_procedure,
+    register_procedure,
+)
+from repro.storage.catalog import AdjacencyKey, Direction
+
+
+def knows_graph(store) -> nx.Graph:
+    graph = nx.Graph()
+    key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+    adjacency = store.adjacency(key)
+    view = store.read_view()
+    for row in view.all_rows("Person"):
+        graph.add_node(int(row))
+        for neighbor in view.neighbors(key, int(row)):
+            graph.add_edge(int(row), int(neighbor))
+    return graph
+
+
+class TestShortestPathLength:
+    def test_direct_friends(self, micro_store):
+        fn = get_procedure("shortest_path_length")
+        out = fn(micro_store.read_view(), {"person1_id": 0, "person2_id": 1})
+        assert out.to_pylist() == [(1,)]
+
+    def test_two_hops(self, micro_store):
+        fn = get_procedure("shortest_path_length")
+        out = fn(micro_store.read_view(), {"person1_id": 0, "person2_id": 3})
+        assert out.to_pylist() == [(2,)]
+
+    def test_same_person(self, micro_store):
+        fn = get_procedure("shortest_path_length")
+        out = fn(micro_store.read_view(), {"person1_id": 2, "person2_id": 2})
+        assert out.to_pylist() == [(0,)]
+
+    def test_unknown_person(self, micro_store):
+        fn = get_procedure("shortest_path_length")
+        out = fn(micro_store.read_view(), {"person1_id": 0, "person2_id": 999})
+        assert out.to_pylist() == [(-1,)]
+
+    def test_matches_networkx_on_sf1(self, sf1_dataset):
+        graph = knows_graph(sf1_dataset.store)
+        view = sf1_dataset.store.read_view()
+        fn = get_procedure("shortest_path_length")
+        table = sf1_dataset.store.table("Person")
+        rng = np.random.default_rng(3)
+        rows = rng.choice(view.all_rows("Person"), size=10, replace=False)
+        for i in range(0, 10, 2):
+            a, b = int(rows[i]), int(rows[i + 1])
+            ida, idb = table.get_property(a, "id"), table.get_property(b, "id")
+            try:
+                expected = nx.shortest_path_length(graph, a, b)
+            except nx.NetworkXNoPath:
+                expected = -1
+            got = fn(view, {"person1_id": ida, "person2_id": idb}).to_pylist()[0][0]
+            assert got == expected
+
+
+class TestPathEnumeration:
+    def test_all_paths_are_shortest(self, sf1_dataset):
+        graph = knows_graph(sf1_dataset.store)
+        view = sf1_dataset.store.read_view()
+        rows = view.all_rows("Person")
+        src, dst = int(rows[0]), int(rows[-1])
+        paths = _enumerate_shortest_paths(view, src, dst)
+        if not paths:
+            pytest.skip("disconnected pair")
+        expected_len = nx.shortest_path_length(graph, src, dst)
+        assert all(len(p) - 1 == expected_len for p in paths)
+        assert all(p[0] == src and p[-1] == dst for p in paths)
+
+    def test_path_count_matches_networkx(self, micro_store):
+        view = micro_store.read_view()
+        ours = _enumerate_shortest_paths(view, 3, 4)
+        expected = list(nx.all_shortest_paths(knows_graph(micro_store), 3, 4))
+        assert sorted(map(tuple, ours)) == sorted(map(tuple, expected))
+
+
+class TestWeightedPaths:
+    def test_output_sorted_by_weight_desc(self, sf1_dataset):
+        view = sf1_dataset.store.read_view()
+        table = sf1_dataset.store.table("Person")
+        fn = get_procedure("weighted_shortest_paths")
+        rows = view.all_rows("Person")
+        out = fn(
+            view,
+            {
+                "person1_id": table.get_property(int(rows[0]), "id"),
+                "person2_id": table.get_property(int(rows[5]), "id"),
+            },
+        )
+        weights = [r[1] for r in out.to_pylist()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_unknown_persons_empty(self, micro_store):
+        fn = get_procedure("weighted_shortest_paths")
+        out = fn(micro_store.read_view(), {"person1_id": -1, "person2_id": -2})
+        assert out.to_pylist() == []
+
+
+class TestRegistry:
+    def test_unknown_procedure(self):
+        with pytest.raises(ExecutionError):
+            get_procedure("ghost")
+
+    def test_register_custom(self, micro_store):
+        from repro.core.flatblock import FlatBlock
+        from repro.types import DataType
+
+        @register_procedure("answer")
+        def answer(view, args):
+            return FlatBlock.from_dict({"x": (DataType.INT64, [42])})
+
+        out = get_procedure("answer")(micro_store.read_view(), {})
+        assert out.to_pylist() == [(42,)]
+
+    def test_khop_neighborhood(self, micro_store):
+        fn = get_procedure("khop_neighborhood")
+        out = fn(micro_store.read_view(), {"person_id": 0, "hops": 2})
+        assert [r[0] for r in out.to_pylist()] == [1, 2, 3, 4]

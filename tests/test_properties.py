@@ -1,0 +1,188 @@
+"""Tests for columnar vertex property storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.properties import PropertyColumn, VertexTable
+from repro.storage.catalog import PropertyDef, VertexLabelDef
+from repro.types import DataType
+
+
+def person_def() -> VertexLabelDef:
+    return VertexLabelDef(
+        "Person",
+        [
+            PropertyDef("id", DataType.INT64),
+            PropertyDef("name", DataType.STRING),
+            PropertyDef("score", DataType.FLOAT64),
+        ],
+        primary_key="id",
+    )
+
+
+class TestPropertyColumn:
+    def test_append_and_get(self):
+        col = PropertyColumn("x", DataType.INT64)
+        assert col.append(5) == 0
+        assert col.append(7) == 1
+        assert col.get(0) == 5 and col.get(1) == 7
+
+    def test_growth_beyond_initial_capacity(self):
+        col = PropertyColumn("x", DataType.INT64, capacity=2)
+        for i in range(100):
+            col.append(i)
+        assert len(col) == 100
+        assert col.get(99) == 99
+
+    def test_null_append_uses_sentinel(self):
+        col = PropertyColumn("x", DataType.INT64)
+        col.append(None)
+        from repro.types import NULL_INT
+
+        assert col.get(0) == NULL_INT
+
+    def test_string_column(self):
+        col = PropertyColumn("x", DataType.STRING)
+        col.append("hello")
+        col.append(None)
+        assert col.get(0) == "hello"
+        assert col.get(1) is None
+
+    def test_set(self):
+        col = PropertyColumn("x", DataType.INT64)
+        col.append(1)
+        col.set(0, 9)
+        assert col.get(0) == 9
+
+    def test_out_of_range_get(self):
+        col = PropertyColumn("x", DataType.INT64)
+        with pytest.raises(StorageError):
+            col.get(0)
+
+    def test_gather(self):
+        col = PropertyColumn.from_array("x", DataType.INT64, np.arange(10))
+        out = col.gather(np.asarray([3, 1, 4]))
+        assert out.tolist() == [3, 1, 4]
+
+    def test_extend(self):
+        col = PropertyColumn("x", DataType.INT64)
+        col.extend([1, 2, 3])
+        col.extend([4, 5])
+        assert col.view().tolist() == [1, 2, 3, 4, 5]
+
+    def test_from_array_view(self):
+        col = PropertyColumn.from_array("x", DataType.FLOAT64, [1.5, 2.5])
+        assert col.view().tolist() == [1.5, 2.5]
+
+
+class TestVertexTable:
+    def test_insert_returns_dense_rows(self):
+        table = VertexTable(person_def())
+        assert table.insert({"id": 10, "name": "a"}) == 0
+        assert table.insert({"id": 11, "name": "b"}) == 1
+        assert len(table) == 2
+
+    def test_primary_key_lookup(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 42, "name": "x"})
+        assert table.row_for_key(42) == 0
+
+    def test_missing_key_raises(self):
+        table = VertexTable(person_def())
+        with pytest.raises(StorageError):
+            table.row_for_key(1)
+
+    def test_try_row_for_key_none(self):
+        table = VertexTable(person_def())
+        assert table.try_row_for_key(1) is None
+
+    def test_duplicate_key_rejected(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 1})
+        with pytest.raises(StorageError):
+            table.insert({"id": 1})
+
+    def test_unknown_property_rejected(self):
+        table = VertexTable(person_def())
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "ghost": 2})
+
+    def test_missing_property_becomes_null(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 1})
+        assert table.get_property(0, "name") is None
+
+    def test_bulk_load(self):
+        table = VertexTable(person_def())
+        table.bulk_load(
+            {
+                "id": np.asarray([5, 6]),
+                "name": np.asarray(["a", "b"], dtype=object),
+                "score": np.asarray([0.5, 1.5]),
+            }
+        )
+        assert len(table) == 2
+        assert table.row_for_key(6) == 1
+        assert table.get_property(0, "score") == 0.5
+
+    def test_bulk_load_ragged_rejected(self):
+        table = VertexTable(person_def())
+        with pytest.raises(StorageError):
+            table.bulk_load({"id": np.asarray([1]), "name": np.asarray([], dtype=object),
+                             "score": np.asarray([1.0])})
+
+    def test_bulk_load_missing_column_rejected(self):
+        table = VertexTable(person_def())
+        with pytest.raises(StorageError):
+            table.bulk_load({"id": np.asarray([1])})
+
+    def test_delete_tombstones(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 1})
+        table.insert({"id": 2})
+        table.delete(0)
+        assert table.num_live == 1
+        assert not table.is_live(0)
+        assert table.is_live(1)
+        assert table.try_row_for_key(1) is None
+
+    def test_all_rows_skips_tombstones(self):
+        table = VertexTable(person_def())
+        for i in range(4):
+            table.insert({"id": i})
+        table.delete(2)
+        assert table.all_rows().tolist() == [0, 1, 3]
+        assert table.all_rows(include_tombstones=True).tolist() == [0, 1, 2, 3]
+
+    def test_set_property(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 1, "name": "a"})
+        table.set_property(0, "name", "z")
+        assert table.get_property(0, "name") == "z"
+
+    def test_visibility_without_stamps(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 1})
+        assert table.is_visible(0, version=0)
+        assert table.is_visible(0, version=None)
+
+    def test_visibility_with_stamps(self):
+        table = VertexTable(person_def())
+        table.insert({"id": 1})
+        row = table.insert({"id": 2})
+        table.mark_created(row, 5)
+        assert not table.is_visible(row, version=4)
+        assert table.is_visible(row, version=5)
+        assert table.is_visible(0, version=0)  # pre-existing rows at version 0
+
+    def test_gather(self):
+        table = VertexTable(person_def())
+        table.bulk_load(
+            {
+                "id": np.arange(5),
+                "name": np.asarray(list("abcde"), dtype=object),
+                "score": np.arange(5, dtype=float),
+            }
+        )
+        assert table.gather("name", np.asarray([4, 0])).tolist() == ["e", "a"]

@@ -1,0 +1,80 @@
+"""Tests for the Runtime: sequential/parallel execution and the
+discrete-event service simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exec.runtime import (
+    run_inter_query,
+    run_sequential,
+    simulate_service,
+)
+
+
+class TestTaskRunners:
+    def test_sequential_order(self):
+        log = []
+        run_sequential([lambda i=i: log.append(i) for i in range(5)])
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_sequential_returns_results(self):
+        assert run_sequential([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_inter_query_results_in_submit_order(self):
+        out = run_inter_query([lambda i=i: i * i for i in range(10)], workers=4)
+        assert out == [i * i for i in range(10)]
+
+    def test_single_worker_falls_back_to_sequential(self):
+        assert run_inter_query([lambda: "x"], workers=1) == ["x"]
+
+
+class TestSimulation:
+    def test_single_worker_serializes(self):
+        sim = simulate_service(
+            np.asarray([0.0, 0.0, 0.0]), np.asarray([1.0, 1.0, 1.0]), workers=1
+        )
+        assert sim.completion_times.tolist() == [1.0, 2.0, 3.0]
+
+    def test_two_workers_halve_makespan(self):
+        one = simulate_service(np.zeros(4), np.ones(4), workers=1)
+        two = simulate_service(np.zeros(4), np.ones(4), workers=2)
+        assert two.makespan == one.makespan / 2
+
+    def test_latency_includes_queueing(self):
+        sim = simulate_service(np.asarray([0.0, 0.0]), np.asarray([2.0, 2.0]), 1)
+        assert sim.latencies.tolist() == [2.0, 4.0]
+
+    def test_idle_worker_serves_immediately(self):
+        sim = simulate_service(np.asarray([0.0, 10.0]), np.asarray([1.0, 1.0]), 1)
+        assert sim.completion_times.tolist() == [1.0, 11.0]
+
+    def test_unsorted_arrivals_served_fifo(self):
+        arrivals = np.asarray([5.0, 0.0])
+        services = np.asarray([1.0, 1.0])
+        sim = simulate_service(arrivals, services, 1)
+        assert sim.completion_times.tolist() == [6.0, 1.0]
+
+    def test_throughput(self):
+        sim = simulate_service(np.zeros(10), np.full(10, 0.5), workers=5)
+        assert sim.throughput == pytest.approx(10 / sim.makespan)
+
+    def test_more_workers_never_hurt(self):
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 10, 50))
+        services = rng.uniform(0.01, 1.0, 50)
+        makespans = [
+            simulate_service(arrivals, services, w).makespan for w in (1, 2, 4, 8)
+        ]
+        assert all(a >= b for a, b in zip(makespans, makespans[1:]))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            simulate_service(np.zeros(1), np.zeros(1), 0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            simulate_service(np.zeros(2), np.zeros(1), 1)
+
+    def test_empty_stream(self):
+        sim = simulate_service(np.empty(0), np.empty(0), 1)
+        assert sim.throughput == 0.0

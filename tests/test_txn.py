@@ -1,0 +1,245 @@
+"""Tests for the concurrency-control layer: version manager, MV2PL locks,
+copy-on-write snapshots, and transactions (paper §5)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import LockTimeout, TransactionError
+from repro.storage.catalog import AdjacencyKey, Direction
+from repro.storage.graph import VertexRef
+from repro.storage.memory_pool import MemoryPool
+from repro.txn import LockManager, SnapshotOverlay, TransactionManager, VersionManager
+from repro.txn.snapshot import VertexSnapshot
+
+
+class TestVersionManager:
+    def test_starts_at_zero(self):
+        assert VersionManager().current() == 0
+
+    def test_next_commit_increments(self):
+        vm = VersionManager()
+        assert vm.next_commit() == 1
+        assert vm.next_commit() == 2
+        assert vm.current() == 2
+
+    def test_thread_safety(self):
+        vm = VersionManager()
+        results = []
+
+        def worker():
+            for _ in range(100):
+                results.append(vm.next_commit())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 400
+
+
+class TestLockManager:
+    def test_acquire_and_release(self):
+        lm = LockManager()
+        keys = lm.acquire_all([("Person", 1), ("Person", 0)])
+        assert keys == [("Person", 0), ("Person", 1)]  # sorted
+        assert lm.is_locked(("Person", 0))
+        lm.release_all(keys)
+        assert not lm.is_locked(("Person", 0))
+
+    def test_duplicate_keys_deduplicated(self):
+        lm = LockManager()
+        keys = lm.acquire_all([("A", 1), ("A", 1)])
+        assert keys == [("A", 1)]
+        lm.release_all(keys)
+
+    def test_conflict_times_out(self):
+        lm = LockManager(default_timeout=0.05)
+        held = lm.acquire_all([("A", 1)])
+        with pytest.raises(LockTimeout):
+            lm.acquire_all([("A", 1)], timeout=0.05)
+        lm.release_all(held)
+
+    def test_timeout_releases_partial(self):
+        lm = LockManager(default_timeout=0.05)
+        held = lm.acquire_all([("B", 2)])
+        with pytest.raises(LockTimeout):
+            lm.acquire_all([("A", 1), ("B", 2)], timeout=0.05)
+        # ("A", 1) must have been released on failure.
+        assert not lm.is_locked(("A", 1))
+        lm.release_all(held)
+
+
+class TestSnapshotOverlay:
+    def test_resolve_returns_pre_image(self, micro_store):
+        pool = MemoryPool()
+        overlay = SnapshotOverlay(pool)
+        snapshot = VertexSnapshot(micro_store.table("Person"), 0, pool)
+        overlay.record(snapshot, commit_version=5)
+        # A reader at version 4 must see the value from before commit 5.
+        overridden, value = overlay.resolve("Person", 0, "age", 4)
+        assert overridden and value == 30
+        # A reader at version 5 sees the live table.
+        overridden, _ = overlay.resolve("Person", 0, "age", 5)
+        assert not overridden
+
+    def test_resolve_picks_oldest_newer_commit(self, micro_store):
+        pool = MemoryPool()
+        overlay = SnapshotOverlay(pool)
+        table = micro_store.table("Person")
+        overlay.record(VertexSnapshot(table, 0, pool), commit_version=5)
+        table.set_property(0, "age", 31)
+        overlay.record(VertexSnapshot(table, 0, pool), commit_version=9)
+        _, v_before_5 = overlay.resolve("Person", 0, "age", 2)
+        _, v_between = overlay.resolve("Person", 0, "age", 7)
+        assert v_before_5 == 30
+        assert v_between == 31
+
+    def test_string_properties_snapshotted(self, micro_store):
+        pool = MemoryPool()
+        overlay = SnapshotOverlay(pool)
+        overlay.record(VertexSnapshot(micro_store.table("Person"), 1, pool), 3)
+        overridden, value = overlay.resolve("Person", 1, "firstName", 1)
+        assert overridden and value == "B"
+
+    def test_prune_releases_buffers(self, micro_store):
+        pool = MemoryPool()
+        overlay = SnapshotOverlay(pool)
+        overlay.record(VertexSnapshot(micro_store.table("Person"), 0, pool), 2)
+        overlay.record(VertexSnapshot(micro_store.table("Person"), 1, pool), 8)
+        released = overlay.prune(before_version=5)
+        assert released == 1
+        assert overlay.snapshot_count == 1
+        assert pool.pooled_buffers >= 1
+
+
+class TestTransactions:
+    def test_add_vertex_commit(self, micro_store):
+        manager = TransactionManager(micro_store)
+        txn = manager.begin()
+        handle = txn.add_vertex("Person", {"id": 50, "firstName": "N", "age": 20})
+        version = txn.commit()
+        assert version == 1
+        ref = txn.staged_vertex(handle)
+        assert micro_store.table("Person").row_for_key(50) == ref.row
+
+    def test_new_vertex_invisible_to_old_snapshot(self, micro_store):
+        manager = TransactionManager(micro_store)
+        old_view = manager.read_view()
+        txn = manager.begin()
+        txn.add_vertex("Person", {"id": 51, "firstName": "M", "age": 21})
+        txn.commit()
+        assert old_view.vertex_by_key("Person", 51) is None
+        assert manager.read_view().vertex_by_key("Person", 51) is not None
+
+    def test_property_write_snapshot_isolation(self, micro_store):
+        manager = TransactionManager(micro_store)
+        old_view = manager.read_view()
+        txn = manager.begin()
+        txn.set_vertex_property("Person", 0, "age", 99)
+        txn.commit()
+        assert old_view.get_property("Person", 0, "age") == 30
+        assert manager.read_view().get_property("Person", 0, "age") == 99
+
+    def test_edge_insert_snapshot_isolation(self, micro_store):
+        manager = TransactionManager(micro_store)
+        key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        old_view = manager.read_view()
+        txn = manager.begin()
+        txn.add_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 3), {"since": 1})
+        txn.commit()
+        assert 3 not in old_view.neighbors(key, 0).tolist()
+        assert 3 in manager.read_view().neighbors(key, 0).tolist()
+
+    def test_edge_delete_snapshot_isolation(self, micro_store):
+        manager = TransactionManager(micro_store)
+        key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        # First transactional insert allocates version stamps.
+        txn0 = manager.begin()
+        txn0.add_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 3), {"since": 1})
+        txn0.commit()
+        old_view = manager.read_view()
+        txn = manager.begin()
+        txn.remove_edge("KNOWS", VertexRef("Person", 0), VertexRef("Person", 1))
+        txn.commit()
+        assert 1 in old_view.neighbors(key, 0).tolist()
+        assert 1 not in manager.read_view().neighbors(key, 0).tolist()
+
+    def test_edge_to_staged_vertex(self, micro_store):
+        manager = TransactionManager(micro_store)
+        txn = manager.begin()
+        handle = txn.add_vertex("Person", {"id": 60, "firstName": "X", "age": 1})
+        txn.add_edge("KNOWS", handle, VertexRef("Person", 0), {"since": 7})
+        txn.commit()
+        key = AdjacencyKey("Person", "KNOWS", "Person", Direction.OUT)
+        new_row = micro_store.table("Person").row_for_key(60)
+        assert 0 in manager.read_view().neighbors(key, new_row).tolist()
+
+    def test_abort_applies_nothing(self, micro_store):
+        manager = TransactionManager(micro_store)
+        txn = manager.begin()
+        txn.add_vertex("Person", {"id": 70, "firstName": "Z", "age": 2})
+        txn.set_vertex_property("Person", 0, "age", 1)
+        txn.abort()
+        assert micro_store.table("Person").try_row_for_key(70) is None
+        assert micro_store.table("Person").get_property(0, "age") == 30
+
+    def test_finished_transaction_rejects_staging(self, micro_store):
+        manager = TransactionManager(micro_store)
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.add_vertex("Person", {"id": 80})
+
+    def test_write_set_covers_endpoints(self, micro_store):
+        manager = TransactionManager(micro_store)
+        txn = manager.begin()
+        txn.add_edge("KNOWS", VertexRef("Person", 2), VertexRef("Person", 0))
+        txn.set_vertex_property("Person", 4, "age", 7)
+        assert txn.write_set() == [("Person", 0), ("Person", 2), ("Person", 4)]
+
+    def test_lock_conflict_between_transactions(self, micro_store):
+        manager = TransactionManager(micro_store)
+        first = manager.begin()
+        first.set_vertex_property("Person", 0, "age", 1)
+        first.lock_write_set()
+        second = manager.begin()
+        second.set_vertex_property("Person", 0, "age", 2)
+        with pytest.raises(LockTimeout):
+            second.lock_write_set(timeout=0.05)
+        first.commit()
+
+    def test_concurrent_disjoint_writers(self, micro_store):
+        manager = TransactionManager(micro_store)
+        errors: list[Exception] = []
+
+        def writer(row: int, value: int) -> None:
+            try:
+                txn = manager.begin()
+                txn.set_vertex_property("Person", row, "age", value)
+                txn.commit()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(row, row * 10)) for row in range(5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert manager.versions.current() == 5
+        for row in range(5):
+            assert micro_store.table("Person").get_property(row, "age") == row * 10
+
+    def test_prune_snapshots(self, micro_store):
+        manager = TransactionManager(micro_store)
+        txn = manager.begin()
+        txn.set_vertex_property("Person", 0, "age", 1)
+        txn.commit()
+        assert manager.overlay.snapshot_count == 1
+        assert manager.prune_snapshots() == 1
+        assert manager.overlay.snapshot_count == 0

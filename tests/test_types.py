@@ -1,0 +1,107 @@
+"""Tests for the value/type system."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    DataType,
+    MILLIS_PER_DAY,
+    NULL_INT,
+    date_millis,
+    infer_data_type,
+    is_null,
+    millis_to_datetime,
+    timestamp_millis,
+)
+
+
+class TestDataType:
+    def test_numpy_dtype_int64(self):
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+
+    def test_numpy_dtype_string_is_object(self):
+        assert DataType.STRING.numpy_dtype == np.dtype(object)
+
+    def test_date_is_integer_backed(self):
+        assert DataType.DATE.is_integer_backed
+
+    def test_timestamp_is_integer_backed(self):
+        assert DataType.TIMESTAMP.is_integer_backed
+
+    def test_float_not_integer_backed(self):
+        assert not DataType.FLOAT64.is_integer_backed
+
+    def test_null_value_int(self):
+        assert DataType.INT64.null_value() == NULL_INT
+
+    def test_null_value_string(self):
+        assert DataType.STRING.null_value() is None
+
+    def test_null_value_float_is_nan(self):
+        value = DataType.FLOAT64.null_value()
+        assert value != value
+
+    def test_null_value_bool(self):
+        assert DataType.BOOL.null_value() is False
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_millis(1970, 1, 1) == 0
+
+    def test_one_day(self):
+        assert date_millis(1970, 1, 2) == MILLIS_PER_DAY
+
+    def test_timestamp_with_time(self):
+        assert timestamp_millis(1970, 1, 1, 0, 0, 1) == 1000
+
+    def test_round_trip(self):
+        millis = timestamp_millis(2012, 6, 15, 12, 30, 45)
+        dt = millis_to_datetime(millis)
+        assert (dt.year, dt.month, dt.day, dt.hour, dt.minute, dt.second) == (
+            2012, 6, 15, 12, 30, 45,
+        )
+
+    def test_ordering(self):
+        assert date_millis(2010, 1, 1) < date_millis(2012, 12, 31)
+
+
+class TestInference:
+    def test_bool_before_int(self):
+        assert infer_data_type(True) is DataType.BOOL
+
+    def test_int(self):
+        assert infer_data_type(7) is DataType.INT64
+
+    def test_numpy_int(self):
+        assert infer_data_type(np.int64(7)) is DataType.INT64
+
+    def test_float(self):
+        assert infer_data_type(1.5) is DataType.FLOAT64
+
+    def test_string(self):
+        assert infer_data_type("x") is DataType.STRING
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError):
+            infer_data_type([1, 2])
+
+
+class TestIsNull:
+    def test_none(self):
+        assert is_null(None)
+
+    def test_nan(self):
+        assert is_null(float("nan"))
+
+    def test_sentinel(self):
+        assert is_null(NULL_INT)
+
+    def test_regular_int(self):
+        assert not is_null(0)
+
+    def test_regular_string(self):
+        assert not is_null("")
+
+    def test_sentinel_with_noninteger_dtype(self):
+        assert not is_null(NULL_INT, DataType.STRING)

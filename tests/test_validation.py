@@ -1,0 +1,63 @@
+"""Tests for the cross-engine validation audit."""
+
+import pytest
+
+from repro.ldbc import generate, validate
+from repro.ldbc.validation import Mismatch, ValidationReport
+
+
+class TestValidationReport:
+    def test_empty_report_passes(self):
+        report = ValidationReport()
+        assert report.passed
+        assert "PASS" in report.summary()
+
+    def test_mismatch_fails(self):
+        report = ValidationReport(checks=1)
+        report.mismatches.append(Mismatch("IC1", "GES_f", {}, 2, 3))
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+    def test_error_fails(self):
+        report = ValidationReport(checks=1)
+        report.errors.append(("IC1", "GES_f", "boom"))
+        assert not report.passed
+
+
+class TestValidate:
+    def test_sf1_passes(self, sf1_dataset):
+        report = validate(sf1_dataset, queries=["IC2", "IC5", "IS3"], draws=2)
+        assert report.passed, report.summary()
+        # 3 queries x 2 draws x 4 engines.
+        assert report.checks == 24
+
+    def test_without_volcano(self, sf1_dataset):
+        report = validate(
+            sf1_dataset, queries=["IS1"], draws=1, include_volcano=False
+        )
+        assert report.passed
+        assert report.checks == 3
+
+    def test_update_queries_rejected(self, sf1_dataset):
+        with pytest.raises(ValueError):
+            validate(sf1_dataset, queries=["IU1"], draws=1)
+
+    def test_default_covers_all_reads(self):
+        dataset = generate("SF1", seed=42)
+        report = validate(dataset, draws=1)
+        assert report.passed, report.summary()
+        assert report.checks == (14 + 7) * 1 * 4
+
+    def test_errors_are_captured_not_raised(self, sf1_dataset, monkeypatch):
+        from repro.ldbc import REGISTRY
+        from repro.ldbc.queries.common import LdbcQueryDef
+
+        def explode(engine, params, stats):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(
+            REGISTRY, "IS4", LdbcQueryDef("IS4", "IS", explode, "injected")
+        )
+        report = validate(sf1_dataset, queries=["IS4"], draws=1)
+        assert not report.passed
+        assert len(report.errors) == 4  # one per engine

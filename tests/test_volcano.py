@@ -1,0 +1,157 @@
+"""Tests specific to the Volcano tuple-at-a-time baseline engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.volcano import VolcanoEngine, _Desc
+from repro.errors import ExecutionError
+from repro.plan import (
+    AggSpec,
+    Aggregate,
+    Col,
+    Distinct,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeByRows,
+    NodeScan,
+    OrderBy,
+    ProcedureCall,
+    Project,
+    TopK,
+    lit,
+    param,
+)
+from repro.storage.catalog import Direction
+from repro.storage.graph import VertexRef
+
+
+@pytest.fixture
+def engine(micro_store):
+    return VolcanoEngine(micro_store)
+
+
+class TestBasics:
+    def test_variant_name(self, engine):
+        assert engine.variant == "Volcano"
+
+    def test_plan_is_identity(self, engine):
+        plan = LogicalPlan([NodeScan("p", "Person")])
+        assert engine.plan(plan) is plan
+
+    def test_seek(self, engine):
+        plan = LogicalPlan([NodeByIdSeek("p", "Person", param("k"))])
+        assert engine.execute(plan, {"k": 2}).rows == [(2,)]
+
+    def test_scan_and_filter(self, engine):
+        plan = LogicalPlan(
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "age", "age"),
+                Filter(Col("age") >= lit(35)),
+            ],
+            returns=["p"],
+        )
+        assert sorted(r[0] for r in engine.execute(plan).rows) == [2, 4]
+
+    def test_node_by_rows(self, engine):
+        plan = LogicalPlan([NodeByRows("p", "Person", "rows")])
+        out = engine.execute(plan, {"rows": np.asarray([3, 1])})
+        assert [r[0] for r in out.rows] == [3, 1]
+
+    def test_edge_props(self, engine):
+        plan = LogicalPlan(
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "f", "KNOWS", Direction.OUT, edge_props={"since": "since"}),
+            ],
+            returns=["f", "since"],
+        )
+        assert sorted(engine.execute(plan).rows) == [(1, 10), (2, 20)]
+
+    def test_neighbor_filter_pushdown_supported(self, engine):
+        plan = LogicalPlan(
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand(
+                    "p", "f", "KNOWS", Direction.OUT,
+                    neighbor_props={"age": "age"},
+                    neighbor_filter=Col("age") > lit(26),
+                ),
+            ],
+            returns=["f", "age"],
+        )
+        assert engine.execute(plan).rows == [(2, 35)]
+
+    def test_optional_expand(self, engine):
+        plan = LogicalPlan(
+            [
+                NodeByIdSeek("p", "Person", lit(0)),
+                Expand("p", "m", "HAS_CREATOR", Direction.IN, to_label="Message",
+                       optional=True),
+            ],
+            returns=["m"],
+        )
+        assert engine.execute(plan).rows == [(None,)]
+
+    def test_aggregate_and_topk(self, engine):
+        plan = LogicalPlan(
+            [
+                NodeScan("m", "Message"),
+                Expand("m", "c", "HAS_CREATOR", Direction.OUT, to_label="Person"),
+                GetProperty("c", "id", "cid"),
+                Aggregate(["cid"], [AggSpec("n", "count")]),
+                TopK([("n", False), ("cid", True)], 2),
+            ],
+            returns=["cid", "n"],
+        )
+        assert engine.execute(plan).rows == [(2, 2), (3, 2)]
+
+    def test_distinct(self, engine):
+        plan = LogicalPlan(
+            [
+                NodeScan("p", "Person"),
+                GetProperty("p", "firstName", "n"),
+                Distinct(["n"]),
+                OrderBy([("n", True)]),
+            ],
+            returns=["n"],
+        )
+        assert [r[0] for r in engine.execute(plan).rows] == ["A", "B", "C", "E"]
+
+    def test_procedure(self, engine):
+        plan = LogicalPlan(
+            [ProcedureCall("shortest_path_length",
+                           {"person1_id": lit(0), "person2_id": lit(4)})],
+            returns=["length"],
+        )
+        assert engine.execute(plan).rows == [(2,)]
+
+    def test_stats_populated(self, engine):
+        plan = LogicalPlan([NodeScan("p", "Person")])
+        result = engine.execute(plan)
+        assert result.stats.peak_intermediate_bytes > 0
+        assert "NodeScan" in result.stats.op_times
+
+    def test_transaction_surface(self, engine, micro_store):
+        txn = engine.transaction()
+        txn.add_vertex("Person", {"id": 77, "firstName": "V", "age": 1})
+        txn.commit()
+        assert engine.read_view().vertex_by_key("Person", 77) is not None
+
+
+class TestDescHelper:
+    def test_order_inverted(self):
+        assert _Desc(2) < _Desc(1)
+
+    def test_equality(self):
+        assert _Desc(3) == _Desc(3)
+        assert not (_Desc(3) == 3)
+
+    def test_sorted_with_ties_stable(self):
+        rows = [("a", 1), ("b", 1), ("c", 2)]
+        out = sorted(rows, key=lambda r: (_Desc(r[1]), r[0]))
+        assert out == [("c", 2), ("a", 1), ("b", 1)]
