@@ -38,11 +38,11 @@ def _resolve_store(args: argparse.Namespace) -> tuple[GraphStore, object | None]
     return dataset.store, dataset
 
 
-def _make_engine(store: GraphStore, variant: str):
+def _make_engine(store: GraphStore, variant: str, plan_cache: bool = True):
     if variant == "Volcano":
         return VolcanoEngine(store)
     try:
-        config = VARIANTS[variant]()
+        config = VARIANTS[variant](plan_cache=plan_cache)
     except KeyError:
         raise SystemExit(
             f"unknown variant {variant!r}; choose from {sorted(VARIANTS)} or Volcano"
@@ -71,7 +71,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     """Run one Cypher query and print rows (stats go to stderr)."""
     store, _ = _resolve_store(args)
-    engine = _make_engine(store, args.variant)
+    engine = _make_engine(store, args.variant, plan_cache=not args.no_plan_cache)
     if engine.variant == "Volcano":
         raise SystemExit("the Volcano baseline takes logical plans, not Cypher")
     params = {}
@@ -87,8 +87,12 @@ def cmd_query(args: argparse.Namespace) -> int:
         print("\t".join(result.columns))
         for row in result.rows:
             print("\t".join(str(v) for v in row))
+    cache_note = ""
+    if engine.plan_cache is not None:
+        cache_note = " (plan cache " + ("hit)" if result.stats.cache_hit else "miss)")
     print(
         f"-- {len(result.rows)} rows, {result.stats.total_seconds * 1e3:.2f} ms, "
+        f"compile {result.stats.compile_seconds * 1e3:.2f} ms{cache_note}, "
         f"peak intermediate {result.stats.peak_intermediate_bytes} B",
         file=sys.stderr,
     )
@@ -98,7 +102,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the LDBC driver and print the throughput report."""
     dataset = generate(args.scale, seed=args.seed)
-    engine = _make_engine(dataset.store, args.variant)
+    engine = _make_engine(dataset.store, args.variant, plan_cache=not args.no_plan_cache)
     driver = BenchmarkDriver(engine, dataset, seed=args.seed)
     report = driver.run(num_operations=args.ops)
     print(
@@ -114,6 +118,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"  {category}: n={len(lat)} mean={lat.mean() * 1e3:.2f}ms "
                 f"p95={float(np.percentile(lat, 95)) * 1e3:.2f}ms"
             )
+    print(
+        f"  compile: {report.compile_seconds * 1e3:.2f}ms total "
+        f"({report.compile_fraction * 100:.1f}% of service time)"
+    )
+    if getattr(engine, "plan_cache", None) is not None:
+        cache = engine.plan_cache.describe()
+        print(
+            f"  plan cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(rate {cache['hit_rate'] * 100:.1f}%), {cache['size']}/{cache['capacity']} "
+            f"entries, {cache['evictions']} evictions"
+        )
+    else:
+        print("  plan cache: disabled")
     return 0
 
 
@@ -148,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--variant", default="GES_f*")
     query.add_argument("--param", action="append", metavar="NAME=VALUE")
     query.add_argument("--format", choices=("table", "json"), default="table")
+    query.add_argument(
+        "--no-plan-cache", action="store_true", help="disable the plan cache (ablation)"
+    )
     query.set_defaults(fn=cmd_query)
 
     bench = sub.add_parser("bench", help="run the LDBC benchmark driver")
@@ -156,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--variant", default="GES_f*")
     bench.add_argument("--workers", type=int, default=1)
+    bench.add_argument(
+        "--no-plan-cache", action="store_true", help="disable the plan cache (ablation)"
+    )
     bench.set_defaults(fn=cmd_bench)
 
     check = sub.add_parser("validate", help="audit engine agreement on reads")

@@ -1,6 +1,7 @@
 """Composable engine service: registry, configuration, GES facade."""
 
 from .config import ALL_VARIANTS, EngineConfig
+from .plan_cache import PlanCache, PlanCacheStats, plan_fingerprint
 from .registry import ModuleRegistry, default_registry
 from .service import GES, GraphEngineService, open_all_variants
 
@@ -10,6 +11,9 @@ __all__ = [
     "GES",
     "GraphEngineService",
     "ModuleRegistry",
+    "PlanCache",
+    "PlanCacheStats",
     "default_registry",
     "open_all_variants",
+    "plan_fingerprint",
 ]

@@ -23,9 +23,11 @@ class EngineConfig:
     parser: str = "cypher"  # frontend.parser module
     storage_backend: str = "adjacency-inmemory"
     workers: int = 1  # inter-query parallelism
+    plan_cache: bool = True  # cache compiled physical plans (ablation knob)
+    plan_cache_size: int = 128  # LRU capacity when the cache is enabled
 
     @classmethod
-    def ges(cls, workers: int = 1) -> "EngineConfig":
+    def ges(cls, workers: int = 1, plan_cache: bool = True) -> "EngineConfig":
         """The flat baseline variant (paper: GES)."""
         return cls(
             name="GES",
@@ -33,17 +35,30 @@ class EngineConfig:
             optimizer="none",
             primitives="flat-block",
             workers=workers,
+            plan_cache=plan_cache,
         )
 
     @classmethod
-    def ges_f(cls, workers: int = 1) -> "EngineConfig":
+    def ges_f(cls, workers: int = 1, plan_cache: bool = True) -> "EngineConfig":
         """The factorized variant without fusion (paper: GES_f)."""
-        return cls(name="GES_f", executor="factorized", optimizer="none", workers=workers)
+        return cls(
+            name="GES_f",
+            executor="factorized",
+            optimizer="none",
+            workers=workers,
+            plan_cache=plan_cache,
+        )
 
     @classmethod
-    def ges_f_star(cls, workers: int = 1) -> "EngineConfig":
+    def ges_f_star(cls, workers: int = 1, plan_cache: bool = True) -> "EngineConfig":
         """The factorized variant with operator fusion (paper: GES_f*)."""
-        return cls(name="GES_f*", executor="factorized", optimizer="fusion", workers=workers)
+        return cls(
+            name="GES_f*",
+            executor="factorized",
+            optimizer="fusion",
+            workers=workers,
+            plan_cache=plan_cache,
+        )
 
 
 #: All three paper variants, in ablation order.

@@ -20,6 +20,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping
 
 from ..exec.base import ExecStats, QueryResult
@@ -29,6 +30,7 @@ from ..storage.graph import GraphReadView, GraphStore
 from ..storage.memory_pool import MemoryPool
 from ..txn.transaction import Transaction, TransactionManager
 from .config import EngineConfig
+from .plan_cache import PlanCache, plan_fingerprint
 from .registry import ModuleRegistry, default_registry
 
 
@@ -56,17 +58,91 @@ class GraphEngineService:
         self._optimize = self.registry.resolve(
             "execution", "optimizer", self.config.optimizer
         )
+        self.plan_cache: PlanCache | None = (
+            PlanCache(self.config.plan_cache_size) if self.config.plan_cache else None
+        )
+        self._schema_fingerprint = self.store.schema.fingerprint()
 
     # -- queries --------------------------------------------------------------
 
     def compile(self, query: str) -> LogicalPlan:
         """Parse + bind Cypher text (without optimizing or executing)."""
-        return self._parse(query, self.store.schema)
+        logical, _ = self._compile_stages(query)
+        return logical
 
-    def plan(self, query: str | LogicalPlan) -> LogicalPlan:
-        """The physical pipeline this instance would run for *query*."""
-        logical = self.compile(query) if isinstance(query, str) else query
-        return self._optimize(logical)
+    def _compile_stages(self, query: str) -> tuple[LogicalPlan, dict[str, float]]:
+        """Parse + bind with per-stage timings.
+
+        The built-in Cypher frontend is timed per stage (parse vs bind);
+        custom parser modules are opaque, so they land under ``parse``.
+        """
+        if self.config.parser == "cypher":
+            from ..frontend.cypher import Binder, parse_cypher
+
+            started = time.perf_counter()
+            tree = parse_cypher(query)
+            parsed = time.perf_counter()
+            logical = Binder(self.store.schema).bind(tree)
+            bound = time.perf_counter()
+            return logical, {"parse": parsed - started, "bind": bound - parsed}
+        started = time.perf_counter()
+        logical = self._parse(query, self.store.schema)
+        return logical, {"parse": time.perf_counter() - started}
+
+    def _cache_key(self, query: str | LogicalPlan) -> tuple[Any, ...] | None:
+        """Plan-cache key for *query*, or None when it must not be cached.
+
+        A changed schema fingerprint drops the whole cache first, so stale
+        plans can never be served after DDL.
+        """
+        if self.plan_cache is None:
+            return None
+        fingerprint = self.store.schema.fingerprint()
+        if fingerprint != self._schema_fingerprint:
+            self.plan_cache.invalidate()
+            self._schema_fingerprint = fingerprint
+        if isinstance(query, str):
+            query_key: str | None = query
+        else:
+            query_key = plan_fingerprint(query)
+        if query_key is None:
+            return None
+        return (query_key, self.config.parser, self.config.optimizer, fingerprint)
+
+    def plan(
+        self, query: str | LogicalPlan, stats: ExecStats | None = None
+    ) -> LogicalPlan:
+        """The physical pipeline this instance would run for *query*.
+
+        Served from the plan cache when possible; compile timings and the
+        cache outcome are recorded into *stats* when given.
+        """
+        started = time.perf_counter()
+        key = self._cache_key(query)
+        if key is not None:
+            cached = self.plan_cache.lookup(key)  # type: ignore[union-attr]
+            if cached is not None:
+                if stats is not None:
+                    stats.record_compile(
+                        time.perf_counter() - started, cache_hit=True
+                    )
+                return cached
+        if isinstance(query, str):
+            logical, stages = self._compile_stages(query)
+        else:
+            logical, stages = query, {}
+        optimize_started = time.perf_counter()
+        physical = self._optimize(logical)
+        stages["optimize"] = time.perf_counter() - optimize_started
+        if key is not None:
+            self.plan_cache.store(key, physical)  # type: ignore[union-attr]
+        if stats is not None:
+            stats.record_compile(
+                time.perf_counter() - started,
+                stages,
+                cache_hit=False if self.plan_cache is not None else None,
+            )
+        return physical
 
     def execute(
         self,
@@ -81,7 +157,9 @@ class GraphEngineService:
         (non-blocking MV2PL reads); before the first write the unversioned
         fast path is used.
         """
-        physical = self.plan(query)
+        if stats is None:
+            stats = ExecStats()
+        physical = self.plan(query, stats=stats)
         if view is None:
             view = self.read_view()
         return self._execute(physical, view, params, stats)
@@ -148,6 +226,11 @@ class GraphEngineService:
             "primitives": self.config.primitives,
             "vertices": self.store.vertex_count,
             "edges": self.store.edge_count,
+            "plan_cache": (
+                self.plan_cache.describe()
+                if self.plan_cache is not None
+                else {"enabled": False}
+            ),
             "modules": self.registry.describe(),
         }
 

@@ -29,6 +29,13 @@ class ExecStats:
       per the paper's accounting note.
     * ``defactor_count`` — how often the executor had to fall back from the
       f-Tree to a flat block.
+    * ``compile_seconds`` / ``stage_times`` — time the service spent turning
+      query text or a logical plan into the physical pipeline, broken down
+      by compile stage (``parse`` / ``bind`` / ``optimize``); lets the
+      benchmark harness report compilation overhead separately from
+      execution.
+    * ``plan_cache_hits`` / ``plan_cache_misses`` — plan-cache outcomes of
+      the compiles behind this query (untouched when the cache is off).
     """
 
     def __init__(self) -> None:
@@ -38,6 +45,10 @@ class ExecStats:
         self.defactor_count = 0
         self.rows_out = 0
         self.total_seconds = 0.0
+        self.compile_seconds = 0.0
+        self.stage_times: dict[str, float] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def record_op(self, name: str, seconds: float, out_bytes: int) -> None:
         self.op_times[name] = self.op_times.get(name, 0.0) + seconds
@@ -52,6 +63,30 @@ class ExecStats:
     def note_defactor(self) -> None:
         self.defactor_count += 1
 
+    def record_compile(
+        self,
+        seconds: float,
+        stages: Mapping[str, float] | None = None,
+        cache_hit: bool | None = None,
+    ) -> None:
+        """Account one compile of this query's pipeline.
+
+        ``cache_hit`` is None when the plan cache is disabled (no outcome
+        to count), else whether the compile was served from the cache.
+        """
+        self.compile_seconds += seconds
+        for name, stage_seconds in (stages or {}).items():
+            self.stage_times[name] = self.stage_times.get(name, 0.0) + stage_seconds
+        if cache_hit is True:
+            self.plan_cache_hits += 1
+        elif cache_hit is False:
+            self.plan_cache_misses += 1
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when every compile behind this query hit the plan cache."""
+        return self.plan_cache_hits > 0 and self.plan_cache_misses == 0
+
     def merge(self, other: "ExecStats") -> None:
         """Fold another query stage's stats into this one."""
         for name, seconds in other.op_times.items():
@@ -61,7 +96,13 @@ class ExecStats:
             self.peak_intermediate_bytes, other.peak_intermediate_bytes
         )
         self.defactor_count += other.defactor_count
+        self.rows_out += other.rows_out
         self.total_seconds += other.total_seconds
+        self.compile_seconds += other.compile_seconds
+        for name, seconds in other.stage_times.items():
+            self.stage_times[name] = self.stage_times.get(name, 0.0) + seconds
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
 
     def dominant_operator(self) -> tuple[str, float]:
         """(name, share of total op time) of the costliest operator."""

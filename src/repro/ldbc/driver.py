@@ -58,6 +58,9 @@ class OperationLog:
     service_seconds: float
     rows: int
     peak_bytes: int
+    compile_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 @dataclass
@@ -96,6 +99,28 @@ class DriverReport:
         """Back-to-back ops/s on one worker (no scheduling)."""
         total = sum(log.service_seconds for log in self.logs)
         return len(self.logs) / total if total > 0 else 0.0
+
+    # -- compile-pipeline breakdown ------------------------------------------
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total time spent in parse/bind/optimize (or cache lookups)."""
+        return sum(log.compile_seconds for log in self.logs)
+
+    @property
+    def compile_fraction(self) -> float:
+        """Share of total service time that was compilation."""
+        total = sum(log.service_seconds for log in self.logs)
+        return self.compile_seconds / total if total > 0 else 0.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Plan-cache hit rate over every compile in the run (0 when the
+        cache was disabled — no lookups happen)."""
+        hits = sum(log.plan_cache_hits for log in self.logs)
+        misses = sum(log.plan_cache_misses for log in self.logs)
+        total = hits + misses
+        return hits / total if total else 0.0
 
     # -- LDBC TCR throughput score -----------------------------------------------
 
@@ -227,7 +252,14 @@ class BenchmarkDriver:
             elapsed = time.perf_counter() - started
             report.logs.append(
                 OperationLog(
-                    op.name, op.category, elapsed, len(rows), stats.peak_intermediate_bytes
+                    op.name,
+                    op.category,
+                    elapsed,
+                    len(rows),
+                    stats.peak_intermediate_bytes,
+                    compile_seconds=stats.compile_seconds,
+                    plan_cache_hits=stats.plan_cache_hits,
+                    plan_cache_misses=stats.plan_cache_misses,
                 )
             )
         report.wall_seconds = time.perf_counter() - wall_start

@@ -4,6 +4,6 @@ Importing this package populates :data:`REGISTRY` with all 29 queries.
 """
 
 from . import ic, isq, iu  # noqa: F401  — imports register the queries
-from .common import REGISTRY, LdbcQueryDef, queries_of, run_plan
+from .common import REGISTRY, LdbcQueryDef, queries_of, run_plan, run_template
 
-__all__ = ["REGISTRY", "LdbcQueryDef", "queries_of", "run_plan"]
+__all__ = ["REGISTRY", "LdbcQueryDef", "queries_of", "run_plan", "run_template"]

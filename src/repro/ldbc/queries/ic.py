@@ -42,7 +42,7 @@ from ...plan.logical import (
     Project,
 )
 from ...storage.catalog import Direction
-from .common import register, run_plan
+from .common import register, run_template
 
 IN = Direction.IN
 OUT = Direction.OUT
@@ -57,8 +57,12 @@ def ic1(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
     """Friends up to 3 hops named ``firstName``, ordered by distance."""
     collected: list[tuple] = []
     for distance in (1, 2, 3):
-        result = run_plan(
+        # Each hop distance builds a structurally different plan (the hop
+        # bounds and the Lit(distance) projection differ), so it is keyed
+        # as its own template.
+        result = run_template(
             engine,
+            ("IC1", distance),
             [
                 NodeByIdSeek("p", "Person", Param("personId")),
                 Expand("p", "f", "KNOWS", OUT, min_hops=distance, max_hops=distance,
@@ -99,8 +103,9 @@ def _person_props(view, row: int) -> tuple[int, str, str]:
 def ic2(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC2: recent messages by friends."""
     # Hot stage: top-20 on ids + sort keys only (late materialization).
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC2",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT),
@@ -130,30 +135,36 @@ def ic2(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 def ic3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """Friends/foafs with messages from both country X and Y in a window,
     excluding persons located in X or Y."""
+    # Per-invocation values ride in as parameters (never as embedded
+    # literals) so both stages keep a stable, plan-cacheable template.
     countries = frozenset({params["countryX"], params["countryY"]})
-    excluded = run_plan(
+    stage_params = {**params, "countryNames": countries}
+    excluded = run_template(
         engine,
+        ("IC3", "excluded"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=1, max_hops=2, exclude_start=True),
             Expand("f", "city", "IS_LOCATED_IN", OUT, to_label="Place"),
             Expand("city", "country", "IS_PART_OF", OUT, to_label="Place"),
             GetProperty("country", "name", "countryName"),
-            Filter(InSet(Col("countryName"), Lit(countries))),
+            Filter(InSet(Col("countryName"), Param("countryNames"))),
             Project(_col_items("f")),
         ],
         ["f"],
-        params,
+        stage_params,
         stats,
     )
     excluded_rows = frozenset(r[0] for r in excluded.rows)
+    stage_params["excludedRows"] = excluded_rows
 
-    stage = run_plan(
+    stage = run_template(
         engine,
+        ("IC3", "counts"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=1, max_hops=2, exclude_start=True),
-            Filter(InSet(Col("f"), Lit(excluded_rows), negate=True)),
+            Filter(InSet(Col("f"), Param("excludedRows"), negate=True)),
             Expand("f", "msg", "HAS_CREATOR", IN, to_label="Message"),
             GetProperty("msg", "creationDate", "msgDate"),
             Expand("msg", "place", "IS_LOCATED_IN", OUT, to_label="Place"),
@@ -167,7 +178,7 @@ def ic3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
                     [
                         Col("msgDate") >= Param("startDate"),
                         Col("msgDate") < Param("endDate"),
-                        InSet(Col("placeName"), Lit(countries)),
+                        InSet(Col("placeName"), Param("countryNames")),
                     ],
                 )
             ),
@@ -177,7 +188,7 @@ def ic3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
             Aggregate(["friendId", "placeName"], [AggSpec("msgCount", "count")]),
         ],
         ["friendId", "placeName", "msgCount"],
-        params,
+        stage_params,
         stats,
     )
     per_friend: dict[int, dict[str, int]] = {}
@@ -196,9 +207,12 @@ def ic3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IC4", "IC", "new topics in friends' posts")
 def ic4(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC4: new topics in friends' posts."""
-    def tag_stage(date_filter, extra_ops, returns):
-        return run_plan(
+    def tag_stage(stage_key, date_filter, extra_ops, returns, stage_params=params):
+        # The two stages thread different filters and tails through one
+        # helper, so each keys its own template.
+        return run_template(
             engine,
+            ("IC4", stage_key),
             [
                 NodeByIdSeek("p", "Person", Param("personId")),
                 Expand("p", "f", "KNOWS", OUT),
@@ -212,26 +226,29 @@ def ic4(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
             ]
             + extra_ops,
             returns,
-            params,
+            stage_params,
             stats,
         )
 
     old = tag_stage(
+        "old",
         Col("msgDate") < Param("startDate"),
         [Project(_col_items("tagName")), Distinct(["tagName"])],
         ["tagName"],
     )
     old_tags = frozenset(r[0] for r in old.rows)
     result = tag_stage(
+        "new",
         BoolOp("and", [Col("msgDate") >= Param("startDate"),
                        Col("msgDate") < Param("endDate")]),
         [
-            Filter(InSet(Col("tagName"), Lit(old_tags), negate=True)),
+            Filter(InSet(Col("tagName"), Param("oldTags"), negate=True)),
             Aggregate(["tagName"], [AggSpec("postCount", "count")]),
             OrderBy([("postCount", False), ("tagName", True)]),
             Limit(10),
         ],
         ["tagName", "postCount"],
+        {**params, "oldTags": old_tags},
     )
     return result.rows
 
@@ -241,8 +258,9 @@ def ic5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
     """Forums that friends/foafs joined after a date, ranked by the number
     of posts those members created in them — the paper's flagship
     AggregateProjectTop query."""
-    foafs = run_plan(
+    foafs = run_template(
         engine,
+        ("IC5", "foafs"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=1, max_hops=2, exclude_start=True),
@@ -256,8 +274,9 @@ def ic5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
     if not foaf_rows:
         return []
     stage_params = {**params, "foafRows": np.asarray(foaf_rows, dtype=np.int64)}
-    joined = run_plan(
+    joined = run_template(
         engine,
+        ("IC5", "joined"),
         [
             NodeByRows("f", "Person", "foafRows"),
             Expand("f", "forum", "HAS_MEMBER", IN, to_label="Forum",
@@ -274,8 +293,9 @@ def ic5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
         return []
     stage_params["forumRows"] = np.asarray(forum_rows, dtype=np.int64)
     stage_params["foafSet"] = frozenset(foaf_rows)
-    result = run_plan(
+    result = run_template(
         engine,
+        ("IC5", "rank"),
         [
             NodeByRows("forum", "Forum", "forumRows"),
             GetProperty("forum", "id", "forumId"),
@@ -301,8 +321,9 @@ def ic5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IC6", "IC", "tag co-occurrence in friends' posts")
 def ic6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC6: tag co-occurrence in friends' posts."""
-    tagged = run_plan(
+    tagged = run_template(
         engine,
+        ("IC6", "tagged"),
         [
             NodeScan("t", "Tag"),
             GetProperty("t", "name", "tName"),
@@ -316,8 +337,9 @@ def ic6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
     )
     tagged_posts = frozenset(r[0] for r in tagged.rows)
     stage_params = {**params, "taggedPosts": tagged_posts}
-    result = run_plan(
+    result = run_template(
         engine,
+        ("IC6", "cooccur"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=1, max_hops=2, exclude_start=True),
@@ -344,8 +366,9 @@ def ic6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IC7", "IC", "recent likers of a person's messages")
 def ic7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC7: recent likers of a person's messages."""
-    friends = run_plan(
+    friends = run_template(
         engine,
+        ("IC7", "friends"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT),
@@ -357,8 +380,9 @@ def ic7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
         stats,
     )
     friend_ids = frozenset(r[0] for r in friends.rows)
-    result = run_plan(
+    result = run_template(
         engine,
+        ("IC7", "likers"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "msg", "HAS_CREATOR", IN, to_label="Message"),
@@ -387,8 +411,9 @@ def ic7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IC8", "IC", "recent replies to a person's messages")
 def ic8(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC8: recent replies to a person's messages."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC8",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "m", "HAS_CREATOR", IN, to_label="Message"),
@@ -419,8 +444,9 @@ def ic8(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IC9", "IC", "recent messages by transitive friends")
 def ic9(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC9: recent messages by transitive friends."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC9",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=1, max_hops=2, exclude_start=True),
@@ -450,8 +476,9 @@ def ic10(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
     """IC10: friend recommendation by common interests."""
     month = int(params["month"])
     next_month = month % 12 + 1
-    interests = run_plan(
+    interests = run_template(
         engine,
+        ("IC10", "interests"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "t", "HAS_INTEREST", OUT, to_label="Tag"),
@@ -466,14 +493,17 @@ def ic10(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
     birthday_filter = BoolOp(
         "or",
         [
-            BoolOp("and", [Func("month", [Col("birthday")]) == Lit(month),
+            BoolOp("and", [Func("month", [Col("birthday")]) == Param("birthdayMonth"),
                            Func("day", [Col("birthday")]) >= Lit(21)]),
-            BoolOp("and", [Func("month", [Col("birthday")]) == Lit(next_month),
+            BoolOp("and", [Func("month", [Col("birthday")]) == Param("birthdayNextMonth"),
                            Func("day", [Col("birthday")]) < Lit(22)]),
         ],
     )
-    candidates = run_plan(
+    # birthday_filter is rebuilt per call but structurally constant (the
+    # month bounds ride in as params), so one template instance suffices.
+    candidates = run_template(
         engine,
+        ("IC10", "candidates"),
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=2, max_hops=2, exclude_start=True),
@@ -484,7 +514,7 @@ def ic10(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
             Project(_col_items("f", "friendId", "gender")),
         ],
         ["f", "friendId", "gender"],
-        params,
+        {**params, "birthdayMonth": month, "birthdayNextMonth": next_month},
         stats,
     )
     if not candidates.rows:
@@ -496,8 +526,9 @@ def ic10(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
         "candidateRows": candidate_rows,
         "interestSet": interest_rows,
     }
-    common = run_plan(
+    common = run_template(
         engine,
+        ("IC10", "common"),
         [
             NodeByRows("f", "Person", "candidateRows"),
             Expand("f", "msg", "HAS_CREATOR", IN, to_label="Message"),
@@ -519,8 +550,9 @@ def ic10(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
         stats,
     )
     common_by_row = {r[0]: r[1] for r in common.rows}
-    totals = run_plan(
+    totals = run_template(
         engine,
+        ("IC10", "totals"),
         [
             NodeByRows("f", "Person", "candidateRows"),
             Expand("f", "msg", "HAS_CREATOR", IN, to_label="Message"),
@@ -547,8 +579,9 @@ def ic10(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
 @register("IC11", "IC", "job referral")
 def ic11(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC11: job referral."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC11",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, min_hops=1, max_hops=2, exclude_start=True),
@@ -599,8 +632,9 @@ def ic12(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
         frontier.extend(int(x) for x in view.neighbors(subclass_in, current))
     stage_params = {**params, "classRows": frozenset(descendant_rows)}
 
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC12",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT),
@@ -630,8 +664,9 @@ def ic12(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
 @register("IC13", "IC", "single shortest path (stored procedure)")
 def ic13(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC13: single shortest path (stored procedure)."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC13",
         [
             ProcedureCall(
                 "shortest_path_length",
@@ -648,8 +683,9 @@ def ic13(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -
 @register("IC14", "IC", "trusted connection paths (stored procedure)")
 def ic14(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IC14: trusted connection paths (stored procedure)."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IC14",
         [
             ProcedureCall(
                 "weighted_shortest_paths",

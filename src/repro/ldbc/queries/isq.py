@@ -24,7 +24,7 @@ from ...plan.logical import (
     Project,
 )
 from ...storage.catalog import AdjacencyKey, Direction
-from .common import register, run_plan
+from .common import register, run_template
 
 IN = Direction.IN
 OUT = Direction.OUT
@@ -37,8 +37,9 @@ def _cols(*names: str) -> list[tuple[str, Col]]:
 @register("IS1", "IS", "person profile")
 def is1(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IS1: person profile."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IS1",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             GetProperty("p", "firstName", "firstName"),
@@ -65,8 +66,9 @@ def is1(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IS2", "IS", "person's recent messages")
 def is2(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IS2: person's recent messages."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IS2",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "msg", "HAS_CREATOR", IN, to_label="Message"),
@@ -89,8 +91,9 @@ def is2(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IS3", "IS", "friends of a person")
 def is3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IS3: friends of a person."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IS3",
         [
             NodeByIdSeek("p", "Person", Param("personId")),
             Expand("p", "f", "KNOWS", OUT, edge_props={"friendshipDate": "creationDate"}),
@@ -110,8 +113,9 @@ def is3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IS4", "IS", "message content")
 def is4(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IS4: message content."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IS4",
         [
             NodeByIdSeek("m", "Message", Param("messageId")),
             GetProperty("m", "creationDate", "creationDate"),
@@ -128,8 +132,9 @@ def is4(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 @register("IS5", "IS", "message creator")
 def is5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IS5: message creator."""
-    result = run_plan(
+    result = run_template(
         engine,
+        "IS5",
         [
             NodeByIdSeek("m", "Message", Param("messageId")),
             Expand("m", "p", "HAS_CREATOR", OUT, to_label="Person"),
@@ -162,8 +167,9 @@ def is6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
             break
         current = int(parents[0])
     stage_params = {**params, "rootPost": np.asarray([current], dtype=np.int64)}
-    result = run_plan(
+    result = run_template(
         engine,
+        "IS6",
         [
             NodeByRows("post", "Message", "rootPost"),
             Expand("post", "forum", "CONTAINER_OF", IN, to_label="Forum"),
@@ -186,8 +192,9 @@ def is6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
 def is7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IS7: replies to a message."""
     # Friends of the message author, for the "replier knows author" flag.
-    author = run_plan(
+    author = run_template(
         engine,
+        ("IS7", "authorFriends"),
         [
             NodeByIdSeek("m", "Message", Param("messageId")),
             Expand("m", "a", "HAS_CREATOR", OUT, to_label="Person"),
@@ -200,8 +207,9 @@ def is7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
         stats,
     )
     author_friends = frozenset(r[0] for r in author.rows)
-    result = run_plan(
+    result = run_template(
         engine,
+        ("IS7", "replies"),
         [
             NodeByIdSeek("m", "Message", Param("messageId")),
             Expand("m", "c", "REPLY_OF", IN, to_label="Message"),

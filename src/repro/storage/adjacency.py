@@ -96,17 +96,23 @@ class AdjacencyList:
 
     @property
     def num_edges(self) -> int:
-        """Live edge count (excludes tombstones and abandoned regions)."""
+        """Live edge count (excludes tombstones, versioned deletes, and
+        abandoned regions)."""
         total = int(self._lengths[: self._num_src].sum())
-        if self._has_tombstones:
-            # Tombstoned slots still count in lengths; subtract them.
-            dead = 0
-            for src in range(self._num_src):
-                start = self._offsets[src]
-                end = start + self._lengths[src]
-                dead += int((self._targets[start:end] == TOMBSTONE).sum())
-            total -= dead
-        return total
+        if not self._has_tombstones and self._deleted is None:
+            return total
+        # Dead slots still count in lengths; subtract them.  A slot is dead
+        # when tombstoned (non-versioned delete) or carrying a `deleted`
+        # stamp (versioned delete) — either way it is gone at latest.
+        dead = 0
+        for src in range(self._num_src):
+            start = int(self._offsets[src])
+            end = start + int(self._lengths[src])
+            dead_mask = self._targets[start:end] == TOMBSTONE
+            if self._deleted is not None:
+                dead_mask |= self._deleted[start:end] != MAX_VERSION
+            dead += int(dead_mask.sum())
+        return total - dead
 
     @property
     def nbytes(self) -> int:
@@ -127,7 +133,7 @@ class AdjacencyList:
 
     def degree(self, src_row: int) -> int:
         """Live out-degree of *src_row* under this key (latest version)."""
-        if src_row >= self._num_src:
+        if src_row < 0 or src_row >= self._num_src:
             return 0
         if self.supports_segments:
             return int(self._lengths[src_row])
@@ -141,7 +147,7 @@ class AdjacencyList:
         Only valid on lists without tombstones or version stamps (the
         bulk-loaded read path); otherwise use :meth:`neighbors`.
         """
-        if src_row >= self._num_src:
+        if src_row < 0 or src_row >= self._num_src:
             return AdjacencySegment(self._targets, 0, 0)
         return AdjacencySegment(
             self._targets, int(self._offsets[src_row]), int(self._lengths[src_row])
@@ -174,8 +180,12 @@ class AdjacencyList:
 
         With ``version`` set, only edges created at or before that version
         and not yet deleted at it are visible (MVCC read view).
+
+        A negative row (the NULL sentinel) has no neighbors; without the
+        guard it would wrap around via Python indexing and silently return
+        the *last* vertex's slice.
         """
-        if src_row >= self._num_src:
+        if src_row < 0 or src_row >= self._num_src:
             return np.empty(0, dtype=np.int64)
         start = int(self._offsets[src_row])
         end = start + int(self._lengths[src_row])
@@ -190,7 +200,7 @@ class AdjacencyList:
 
         Slot indices let callers fetch aligned edge properties afterwards.
         """
-        if src_row >= self._num_src:
+        if src_row < 0 or src_row >= self._num_src:
             return np.empty(0, dtype=np.int64)
         start = int(self._offsets[src_row])
         end = start + int(self._lengths[src_row])
@@ -289,8 +299,16 @@ class AdjacencyList:
                 raise StorageError(f"bulk_load: unknown edge property {name!r}")
             if len(props[name]) != len(src_rows):
                 raise StorageError(f"bulk_load: property {name!r} length mismatch")
-        order = np.argsort(src_rows, kind="stable")
-        sorted_src = np.asarray(src_rows, dtype=np.int64)[order]
+        src_array = np.asarray(src_rows, dtype=np.int64)
+        if len(src_array):
+            lo, hi = int(src_array.min()), int(src_array.max())
+            if lo < 0 or hi >= num_src:
+                raise StorageError(
+                    f"bulk_load: source rows must be within [0, {num_src}), "
+                    f"got range [{lo}, {hi}]"
+                )
+        order = np.argsort(src_array, kind="stable")
+        sorted_src = src_array[order]
         sorted_dst = np.asarray(dst_rows, dtype=np.int64)[order]
 
         counts = np.bincount(sorted_src, minlength=num_src).astype(np.int32)
@@ -418,7 +436,7 @@ class AdjacencyList:
         Non-versioned deletion tombstones the slot; versioned deletion stamps
         ``deleted`` so older snapshots still see the edge.
         """
-        if src_row >= self._num_src:
+        if src_row < 0 or src_row >= self._num_src:
             return False
         start = int(self._offsets[src_row])
         end = start + int(self._lengths[src_row])

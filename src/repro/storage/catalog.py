@@ -13,6 +13,7 @@ that hash-table key.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, NamedTuple
 
@@ -123,6 +124,7 @@ class GraphSchema:
     def __init__(self) -> None:
         self._vertex_labels: dict[str, VertexLabelDef] = {}
         self._edge_labels: list[EdgeLabelDef] = []
+        self._fingerprint: str | None = None
 
     # -- registration ----------------------------------------------------
 
@@ -130,6 +132,7 @@ class GraphSchema:
         if definition.name in self._vertex_labels:
             raise SchemaError(f"vertex label {definition.name!r} already defined")
         self._vertex_labels[definition.name] = definition
+        self._fingerprint = None
         return definition
 
     def add_edge_label(self, definition: EdgeLabelDef) -> EdgeLabelDef:
@@ -149,7 +152,31 @@ class GraphSchema:
                     f"({definition.src_label}->{definition.dst_label}) already defined"
                 )
         self._edge_labels.append(definition)
+        self._fingerprint = None
         return definition
+
+    # -- identity --------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable digest of the catalog contents.
+
+        Plans compiled against one fingerprint are valid exactly as long as
+        the schema still hashes to it; the engine's plan cache keys on this
+        value and invalidates when it changes.  Cached until the next
+        ``add_vertex_label`` / ``add_edge_label``.
+        """
+        if self._fingerprint is None:
+            parts: list[str] = []
+            for name in sorted(self._vertex_labels):
+                vdef = self._vertex_labels[name]
+                props = ",".join(f"{p.name}:{p.dtype.name}" for p in vdef.properties)
+                parts.append(f"V:{name}({props})pk={vdef.primary_key}")
+            for edef in self._edge_labels:
+                props = ",".join(f"{p.name}:{p.dtype.name}" for p in edef.properties)
+                parts.append(f"E:{edef.name}:{edef.src_label}->{edef.dst_label}({props})")
+            digest = hashlib.sha1("|".join(parts).encode()).hexdigest()
+            self._fingerprint = digest[:16]
+        return self._fingerprint
 
     # -- lookup ----------------------------------------------------------
 

@@ -44,6 +44,27 @@ class TestBulkLoad:
         assert adj.neighbors(99).tolist() == []
         assert adj.degree(99) == 0
 
+    def test_negative_source_is_empty(self):
+        # Regression: negative rows used to wrap around via numpy indexing
+        # and silently return the *last* source's neighborhood.
+        adj = loaded_list()
+        assert adj.neighbors(-1).tolist() == []
+        assert adj.neighbor_slots(-1).tolist() == []
+        assert adj.degree(-1) == 0
+        assert len(adj.segment(-1)) == 0
+        assert not adj.remove_edge(-1, 10)
+
+    def test_bulk_load_out_of_range_source_rejected(self):
+        # Regression: rows >= num_src used to surface as a raw numpy
+        # ValueError from bincount instead of a StorageError.
+        from repro.errors import StorageError
+
+        adj = make_list(num_src=2)
+        with pytest.raises(StorageError, match="source rows"):
+            adj.bulk_load(2, np.asarray([0, 5]), np.asarray([1, 2]))
+        with pytest.raises(StorageError, match="source rows"):
+            adj.bulk_load(2, np.asarray([-1, 0]), np.asarray([1, 2]))
+
     def test_edge_props_aligned(self):
         adj = loaded_list()
         slots = adj.neighbor_slots(2)
@@ -154,6 +175,15 @@ class TestVersioning:
         adj.add_edge(0, 99, version=1)
         adj.remove_edge(0, 10, version=5)
         assert 10 not in adj.neighbors(0).tolist()
+
+    def test_num_edges_counts_versioned_deletes(self):
+        # Regression: num_edges only discounted tombstoned slots, so a
+        # versioned delete left the count (and store.edge_count) unchanged.
+        adj = loaded_list()
+        adj.add_edge(0, 99, version=1)
+        assert adj.num_edges == 7
+        adj.remove_edge(0, 10, version=5)
+        assert adj.num_edges == 6
 
     def test_versioning_disables_segments(self):
         adj = loaded_list()

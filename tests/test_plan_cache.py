@@ -1,0 +1,239 @@
+"""Tests for the parameterized plan cache and compile instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro import DataType, EngineConfig, GES, PropertyDef, VertexLabelDef
+from repro.engine.plan_cache import PlanCache, PlanCacheStats, plan_fingerprint
+from repro.exec.base import ExecStats
+from repro.ldbc import ParameterGenerator, REGISTRY
+from repro.plan.expressions import Col, InSet, Lit, Param
+from repro.plan.logical import (
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalPlan,
+    NodeByIdSeek,
+    NodeScan,
+    OrderBy,
+    Project,
+)
+
+CYPHER = "MATCH (m:Message) RETURN m.length AS len ORDER BY len DESC LIMIT 2"
+
+
+def template_plan() -> LogicalPlan:
+    """A parameterized template plan (fresh instance per call)."""
+    return LogicalPlan(
+        [
+            NodeByIdSeek("p", "Person", Param("personId")),
+            GetProperty("p", "age", "age"),
+            Filter(Col("age") >= Param("minAge")),
+            Project([("age", Col("age"))]),
+            OrderBy([("age", True)]),
+            Limit(5),
+        ],
+        returns=["age"],
+    )
+
+
+class TestPlanCacheUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_hit_miss_counters(self):
+        cache = PlanCache(capacity=4)
+        assert cache.lookup("k") is None
+        plan = template_plan()
+        cache.store("k", plan)
+        assert cache.lookup("k") is plan
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_prefers_recently_used(self):
+        cache = PlanCache(capacity=2)
+        a, b, c = template_plan(), template_plan(), template_plan()
+        cache.store("a", a)
+        cache.store("b", b)
+        assert cache.lookup("a") is a  # refresh "a"; "b" is now LRU
+        cache.store("c", c)
+        assert cache.stats.evictions == 1
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") is a
+        assert cache.lookup("c") is c
+
+    def test_invalidate_clears_and_counts(self):
+        cache = PlanCache(capacity=4)
+        cache.store("a", template_plan())
+        cache.store("b", template_plan())
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert cache.lookup("a") is None
+
+    def test_describe(self):
+        cache = PlanCache(capacity=3)
+        info = cache.describe()
+        assert info["enabled"] is True
+        assert info["capacity"] == 3
+        assert {"size", "hits", "misses", "evictions", "hit_rate"} <= info.keys()
+
+    def test_stats_empty_hit_rate(self):
+        assert PlanCacheStats().hit_rate == 0.0
+
+
+class TestPlanFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert plan_fingerprint(template_plan()) == plan_fingerprint(template_plan())
+
+    def test_distinguishes_structure(self):
+        other = LogicalPlan([NodeScan("p", "Person")], returns=None)
+        assert plan_fingerprint(template_plan()) != plan_fingerprint(other)
+
+    def test_distinguishes_literal_values(self):
+        one = LogicalPlan([NodeScan("p", "Person"), Filter(Col("p") == Lit(1))])
+        two = LogicalPlan([NodeScan("p", "Person"), Filter(Col("p") == Lit(2))])
+        assert plan_fingerprint(one) != plan_fingerprint(two)
+
+    def test_data_bearing_literal_is_uncacheable(self):
+        rows = np.arange(3, dtype=np.int64)
+        plan = LogicalPlan(
+            [NodeScan("p", "Person"), Filter(Col("p") == Lit(rows))]
+        )
+        assert plan_fingerprint(plan) is None
+
+    def test_memoized_on_instance(self):
+        plan = template_plan()
+        first = plan_fingerprint(plan)
+        assert plan._fingerprint == first
+        assert plan_fingerprint(plan) is first
+
+
+class TestServicePlanCache:
+    def test_cypher_second_execution_hits(self, micro_store):
+        engine = GES(micro_store)
+        first, second = ExecStats(), ExecStats()
+        engine.execute(CYPHER, stats=first)
+        engine.execute(CYPHER, stats=second)
+        assert first.plan_cache_misses == 1 and not first.cache_hit
+        assert second.plan_cache_hits == 1 and second.cache_hit
+        assert engine.plan_cache.stats.hits == 1
+
+    def test_cached_physical_plan_is_reused(self, micro_store):
+        engine = GES(micro_store)
+        assert engine.plan(CYPHER) is engine.plan(CYPHER)
+
+    def test_equivalent_plan_objects_share_entry(self, micro_store):
+        engine = GES(micro_store)
+        engine.execute(template_plan(), {"personId": 1, "minAge": 0})
+        stats = ExecStats()
+        engine.execute(template_plan(), {"personId": 3, "minAge": 20}, stats=stats)
+        assert stats.cache_hit
+
+    def test_uncacheable_plan_bypasses_cache(self, micro_store):
+        engine = GES(micro_store)
+        plan = LogicalPlan(
+            [NodeScan("p", "Person"), Filter(InSet(Col("p"), Lit(frozenset({0, 2}))))],
+            returns=None,
+        )
+        engine.execute(plan)
+        engine.execute(plan)
+        assert engine.plan_cache.stats.lookups == 0
+
+    def test_compile_stage_timings_recorded(self, micro_store):
+        stats = ExecStats()
+        GES(micro_store).execute(CYPHER, stats=stats)
+        assert stats.compile_seconds > 0
+        assert {"parse", "bind", "optimize"} <= stats.stage_times.keys()
+
+    def test_disabled_cache(self, micro_store):
+        engine = GES(micro_store, EngineConfig.ges_f_star(plan_cache=False))
+        stats = ExecStats()
+        engine.execute(CYPHER, stats=stats)
+        engine.execute(CYPHER, stats=stats)
+        assert engine.plan_cache is None
+        assert stats.plan_cache_hits == 0 and stats.plan_cache_misses == 0
+        assert engine.describe()["plan_cache"] == {"enabled": False}
+
+    def test_describe_surfaces_cache(self, micro_store):
+        engine = GES(micro_store)
+        engine.execute(CYPHER)
+        info = engine.describe()["plan_cache"]
+        assert info["enabled"] is True
+        assert info["size"] == 1
+
+    def test_schema_change_invalidates(self, micro_store):
+        engine = GES(micro_store)
+        engine.execute(CYPHER)
+        assert len(engine.plan_cache) == 1
+        micro_store.schema.add_vertex_label(
+            VertexLabelDef(
+                "Widget", [PropertyDef("id", DataType.INT64)], primary_key="id"
+            )
+        )
+        stats = ExecStats()
+        engine.execute(CYPHER, stats=stats)
+        assert engine.plan_cache.stats.invalidations == 1
+        assert not stats.cache_hit  # recompiled against the new schema
+        assert engine.describe()["plan_cache"]["size"] == 1
+
+
+class TestExecStatsMerge:
+    def test_merge_carries_rows_out(self):
+        # Regression: merge() silently dropped the other side's rows_out.
+        a, b = ExecStats(), ExecStats()
+        a.rows_out, b.rows_out = 7, 5
+        a.merge(b)
+        assert a.rows_out == 12
+
+    def test_merge_folds_compile_counters(self):
+        a, b = ExecStats(), ExecStats()
+        a.record_compile(0.5, {"parse": 0.2}, cache_hit=False)
+        b.record_compile(0.25, {"parse": 0.1, "optimize": 0.05}, cache_hit=True)
+        a.merge(b)
+        assert a.compile_seconds == 0.75
+        assert a.stage_times == {"parse": 0.30000000000000004, "optimize": 0.05}
+        assert a.plan_cache_hits == 1 and a.plan_cache_misses == 1
+        assert not a.cache_hit  # mixed outcome is not a pure hit
+
+
+class TestStoreVersionedDelete:
+    def test_versioned_remove_edge_decreases_edge_count(self, micro_store):
+        from repro.storage.graph import VertexRef
+
+        before = micro_store.edge_count
+        removed = micro_store.remove_edge(
+            "KNOWS", VertexRef("Person", 0), VertexRef("Person", 1), version=5
+        )
+        assert removed
+        assert micro_store.edge_count == before - 1
+
+
+QUERIES = ("IC2", "IC5", "IC11", "IS1", "IS3", "IS7")
+VARIANTS = {
+    "GES": EngineConfig.ges,
+    "GES_f": EngineConfig.ges_f,
+    "GES_f*": EngineConfig.ges_f_star,
+}
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_variants_agree_cache_on_and_off(sf1_dataset, name):
+    """All three variants return identical rows with the cache on and off,
+    and the cache-on rows are identical on the cold and the warm pass."""
+    params = ParameterGenerator(sf1_dataset, seed=3).params_for(name)
+    reference = None
+    for variant, make_config in VARIANTS.items():
+        cached = GES(sf1_dataset.store, make_config(plan_cache=True))
+        cold = REGISTRY[name].fn(cached, params, ExecStats())
+        warm = REGISTRY[name].fn(cached, params, ExecStats())
+        uncached = GES(sf1_dataset.store, make_config(plan_cache=False))
+        off = REGISTRY[name].fn(uncached, params, ExecStats())
+        assert cold == warm, f"{variant}/{name}: warm cache changed the rows"
+        assert cold == off, f"{variant}/{name}: plan cache changed the rows"
+        if reference is None:
+            reference = cold
+        else:
+            assert cold == reference, f"{name}: {variant} disagrees across variants"
