@@ -13,7 +13,7 @@ fusion (435 MB -> 1.6 KB there).
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import now
 
 import numpy as np
 
@@ -74,11 +74,11 @@ def test_ablation_fused_aggregation(benchmark):
         out = {}
         for mode, plan in (("unfused", unfused), ("fused", fused)):
             stats = ExecStats()
-            started = time.perf_counter()
+            started = now()
             for _ in range(ROUNDS):
                 rows = execute_factorized(plan, view, {}, stats).rows
             out[mode] = (
-                (time.perf_counter() - started) / ROUNDS * 1e3,
+                (now() - started) / ROUNDS * 1e3,
                 stats.peak_intermediate_bytes,
                 rows,
             )

@@ -8,7 +8,7 @@ enabled vs a pool that never caches, and report the hit rate and timing.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import now
 
 from conftest import emit
 from repro.ldbc import generate
@@ -20,13 +20,13 @@ CYCLES = 3000
 
 def churn(pool: MemoryPool, table) -> float:
     overlay = SnapshotOverlay(pool)
-    started = time.perf_counter()
+    started = now()
     for i in range(CYCLES):
         snapshot = VertexSnapshot(table, i % len(table), pool)
         overlay.record(snapshot, commit_version=i + 1)
         if i % 50 == 49:
             overlay.prune(before_version=i + 1)  # releases buffers to the pool
-    return (time.perf_counter() - started) * 1e3
+    return (now() - started) * 1e3
 
 
 def test_ablation_memory_pool(benchmark):

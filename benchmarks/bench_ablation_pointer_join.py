@@ -10,7 +10,7 @@ source instead of 8 bytes per neighbor.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import now
 
 from conftest import dataset_for, emit
 from repro.core.lazy import LazyNeighborColumn
@@ -49,10 +49,10 @@ def test_ablation_pointer_join(benchmark):
         timings = {}
         footprints = {}
         for mode, eager in (("pointer", False), ("eager", True)):
-            started = time.perf_counter()
+            started = now()
             for _ in range(ROUNDS):
                 footprints[mode] = expand_pipeline(dataset, force_eager=eager)
-            timings[mode] = (time.perf_counter() - started) / ROUNDS * 1e3
+            timings[mode] = (now() - started) / ROUNDS * 1e3
         return timings, footprints
 
     timings, footprints = benchmark.pedantic(run, rounds=1, iterations=1)

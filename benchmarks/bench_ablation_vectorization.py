@@ -9,7 +9,7 @@ per-source visibility checks) on the same expansion.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import now
 
 import numpy as np
 
@@ -28,16 +28,16 @@ def test_ablation_vectorization(benchmark):
 
     def run():
         timings = {}
-        started = time.perf_counter()
+        started = now()
         for _ in range(ROUNDS):
             vectorized = _vectorized_single_hop(view, KEY, sources, {})
-        timings["vectorized"] = (time.perf_counter() - started) / ROUNDS * 1e3
+        timings["vectorized"] = (now() - started) / ROUNDS * 1e3
 
-        started = time.perf_counter()
+        started = now()
         for _ in range(ROUNDS):
             counts, chunks, _ = _single_hop_chunks(view, [KEY], sources, {})
             looped = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-        timings["per-source loop"] = (time.perf_counter() - started) / ROUNDS * 1e3
+        timings["per-source loop"] = (now() - started) / ROUNDS * 1e3
         assert looped.tolist() == vectorized.neighbors.tolist()
         assert counts.tolist() == vectorized.counts.tolist()
         return timings

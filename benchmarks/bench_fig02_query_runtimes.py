@@ -8,8 +8,6 @@ the headline observation: the costliest query takes >=20x the cheapest.
 
 from __future__ import annotations
 
-import time
-
 from conftest import dataset_for, emit, make_engine, measure_query, params_for, IC_QUERIES
 
 DRAWS = 4
@@ -40,7 +38,20 @@ def test_fig02_query_runtimes(benchmark):
     averages = [rows[name][1] for name in IC_QUERIES]
     spread = max(averages) / max(min(averages), 1e-9)
     lines.append(f"max/min average runtime spread: {spread:.0f}x")
-    emit(lines, archive="fig02_query_runtimes.txt")
+    emit(
+        lines,
+        archive="fig02_query_runtimes.txt",
+        data={
+            "figure": "fig02",
+            "variant": "GES",
+            "scale": "SF100",
+            "queries": {
+                name: {"total_ms": rows[name][0] * 1e3, "avg_ms": rows[name][1] * 1e3}
+                for name in IC_QUERIES
+            },
+            "spread": spread,
+        },
+    )
 
     # Paper shape: a few long-running queries dominate by a wide margin.
     assert spread >= 20

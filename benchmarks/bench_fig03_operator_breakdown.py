@@ -47,7 +47,18 @@ def test_fig03_operator_breakdown(benchmark):
         f"overall dominant operator: {dominant} "
         f"({overall[dominant] / total * 100:.1f}% of operator time)"
     )
-    emit(lines, archive="fig03_operator_breakdown.txt")
+    emit(
+        lines,
+        archive="fig03_operator_breakdown.txt",
+        data={
+            "figure": "fig03",
+            "variant": "GES",
+            "scale": "SF100",
+            "per_query_op_seconds": per_query,
+            "dominant_operator": dominant,
+            "dominant_share": overall[dominant] / total,
+        },
+    )
 
     # Paper shape: Expand dominates the flat executor's runtime.
     assert dominant in ("Expand", "VertexExpand")

@@ -54,7 +54,18 @@ def test_fig11_latency_ablation(benchmark):
         for name in LONG_RUNNING:
             speedup = table[(scale, name, "GES")] / table[(scale, name, "GES_f*")]
             lines.append(f"{name} on {scale}: GES_f* speedup over GES = {speedup:.2f}x")
-    emit(lines, archive="fig11_latency_ablation.txt")
+    emit(
+        lines,
+        archive="fig11_latency_ablation.txt",
+        data={
+            "figure": "fig11",
+            "scales": list(SCALES),
+            "latency_ms": {
+                f"{scale}/{name}/{variant}": table[(scale, name, variant)]
+                for scale, name, variant in table
+            },
+        },
+    )
 
     # Paper shape: on the larger graphs the fused factorized executor wins
     # the long-running queries.

@@ -9,13 +9,12 @@ baseline on the flagship queries.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from conftest import VARIANTS, dataset_for, emit, make_engine, params_for
 from repro.exec.base import ExecStats
 from repro.ldbc import REGISTRY
+from repro.obs.clock import now
 
 QUERIES = ("IC1", "IC2", "IC5", "IC6", "IC9", "IC11")
 DRAWS = 12
@@ -32,9 +31,9 @@ def test_fig12_tail_latency(benchmark):
             for variant, engine in engines.items():
                 samples = []
                 for params in params_list:
-                    started = time.perf_counter()
+                    started = now()
                     REGISTRY[name].fn(engine, params, ExecStats())
-                    samples.append(time.perf_counter() - started)
+                    samples.append(now() - started)
                 table[(name, variant)] = np.asarray(samples)
         return table
 
@@ -54,7 +53,16 @@ def test_fig12_tail_latency(benchmark):
             p99[(name, variant)] = float(np.percentile(samples, 99))
             cells += f"{np.percentile(samples, 99):>14.2f}{np.percentile(samples, 99.9):>14.2f}"
         lines.append(f"{name:6}{cells}")
-    emit(lines, archive="fig12_tail_latency.txt")
+    emit(
+        lines,
+        archive="fig12_tail_latency.txt",
+        data={
+            "figure": "fig12",
+            "scale": "SF300",
+            "draws": DRAWS,
+            "p99_ms": {f"{name}/{variant}": value for (name, variant), value in p99.items()},
+        },
+    )
 
     # Paper shape: the fused variant tames the tail of the flagship
     # long-running queries.

@@ -48,7 +48,19 @@ def test_fig13_scalability(benchmark):
         "worker counts scale super-linearly; the paper's taper at high "
         "counts comes from network/disk limits the simulation omits"
     )
-    emit(lines, archive="fig13_scalability.txt")
+    emit(
+        lines,
+        archive="fig13_scalability.txt",
+        data={
+            "figure": "fig13",
+            "variant": "GES_f*",
+            "ops": OPS,
+            "throughput_ops_per_s": {
+                f"{scale}/{workers}": table[(scale, workers)]
+                for scale, workers in table
+            },
+        },
+    )
 
     for scale in SCALES:
         # Monotone scaling with a substantial multi-worker win.

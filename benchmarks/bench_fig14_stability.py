@@ -45,7 +45,17 @@ def test_fig14_stability_trace(benchmark):
     interior = overall[1:-1][overall[1:-1] > 0]
     cv = float(np.std(interior) / np.mean(interior)) if len(interior) else 0.0
     lines.append(f"coefficient of variation (interior windows): {cv:.2f}")
-    emit(lines, archive="fig14_stability.txt")
+    emit(
+        lines,
+        archive="fig14_stability.txt",
+        data={
+            "figure": "fig14",
+            "variant": "GES_f*",
+            "scale": "SF300",
+            "windowed_ops_per_s": {cat: list(trace[cat][1]) for cat in sorted(trace)},
+            "coefficient_of_variation": cv,
+        },
+    )
 
     assert cv < 0.6, "throughput trace should be stable over the run"
     # All three operation categories keep completing throughout.

@@ -20,6 +20,7 @@ from conftest import (
 )
 from repro.exec.base import ExecStats
 from repro.ldbc import REGISTRY, ParameterGenerator, generate
+from repro.obs.clock import now
 
 ENGINES = ("Volcano", "GES", "GES_f", "GES_f*")
 SCALES = ("SF1", "SF10")
@@ -31,8 +32,6 @@ IU_QUERIES = [f"IU{i}" for i in range(1, 9)]
 
 def _measure_updates(scale: str) -> dict[tuple[str, str], float]:
     """IU latencies need a fresh (mutable) store per engine."""
-    import time
-
     out: dict[tuple[str, str], float] = {}
     for name in ENGINES:
         dataset = generate(scale, seed=42)
@@ -40,10 +39,10 @@ def _measure_updates(scale: str) -> dict[tuple[str, str], float]:
         gen = ParameterGenerator(dataset, seed=13)
         for query in IU_QUERIES:
             stats = ExecStats()
-            started = time.perf_counter()
+            started = now()
             for _ in range(DRAWS):
                 REGISTRY[query].fn(engine, gen.params_for(query), stats)
-            out[(query, name)] = (time.perf_counter() - started) / DRAWS * 1e3
+            out[(query, name)] = (now() - started) / DRAWS * 1e3
     return out
 
 
@@ -83,7 +82,18 @@ def test_fig15_system_latency(benchmark):
     for query in HEAVY:
         gap = table[("SF10", query, "Volcano")] / table[("SF10", query, "GES_f*")]
         lines.append(f"{query} on SF10: GES_f* is {gap:.1f}x faster than Volcano")
-    emit(lines, archive="fig15_system_latency.txt")
+    emit(
+        lines,
+        archive="fig15_system_latency.txt",
+        data={
+            "figure": "fig15",
+            "engines": list(ENGINES),
+            "latency_ms": {
+                f"{scale}/{query}/{name}": value
+                for (scale, query, name), value in table.items()
+            },
+        },
+    )
 
     # Paper shape: the flat tuple-at-a-time architecture loses the heavy
     # complex reads by a wide margin.

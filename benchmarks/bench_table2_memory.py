@@ -59,7 +59,20 @@ def test_table2_memory_footprint(benchmark):
                 f"{name:6}{fmt_bytes(flat):>12}{fmt_bytes(fact):>12}"
                 f"{fmt_bytes(fused):>12}{ratio * 100:>7.1f}%"
             )
-    emit(lines, archive="table2_memory.txt")
+    emit(
+        lines,
+        archive="table2_memory.txt",
+        data={
+            "table": "table2",
+            "peak_bytes": {
+                f"{scale}/{name}/{variant}": value
+                for (scale, name, variant), value in table.items()
+            },
+            "reduction_ratio": {
+                f"{scale}/{name}": value for (scale, name), value in ratios.items()
+            },
+        },
+    )
 
     # Paper shape on the largest scale: big reductions for the
     # factorization-friendly queries, ~none where flat fallback is forced.

@@ -68,7 +68,17 @@ def test_table3_variant_throughput(benchmark):
         "pure-Python per-operation floor compresses the mixed-workload gap "
         "(see DESIGN.md and EXPERIMENTS.md)",
     ]
-    emit(lines, archive="table3_throughput.txt")
+    emit(
+        lines,
+        archive="table3_throughput.txt",
+        data={
+            "table": "table3",
+            "throughput_ops_per_s": {
+                f"{scale}/{variant}": value for (scale, variant), value in scores.items()
+            },
+            "heavy_ic_mean_seconds": heavy,
+        },
+    )
 
     # Mini-scale shape: the mixed-workload scores stay comparable...
     for scale in SCALES:

@@ -37,7 +37,16 @@ def test_table4_system_throughput(benchmark):
         )
         gap = table[(scale, "GES_f*")] / table[(scale, "Volcano")]
         lines.append(f"  GES_f* / Volcano = {gap:.1f}x")
-    emit(lines, archive="table4_system_throughput.txt")
+    emit(
+        lines,
+        archive="table4_system_throughput.txt",
+        data={
+            "table": "table4",
+            "throughput_ops_per_s": {
+                f"{scale}/{name}": value for (scale, name), value in table.items()
+            },
+        },
+    )
 
     for scale in SCALES:
         assert table[(scale, "GES_f*")] > table[(scale, "Volcano")]

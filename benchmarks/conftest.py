@@ -8,8 +8,8 @@ capture) and archived under ``results/``.
 
 from __future__ import annotations
 
+import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
@@ -18,8 +18,27 @@ from repro import GES, EngineConfig
 from repro.baselines import VolcanoEngine
 from repro.exec.base import ExecStats
 from repro.ldbc import ParameterGenerator, REGISTRY, generate
+from repro.obs.clock import now
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Set by ``pytest_configure`` when the run was invoked with ``--json``;
+#: ``emit(..., data=...)`` then archives machine-readable results too.
+_JSON_ENABLED = False
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help="also archive each benchmark's results as JSON under results/",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    global _JSON_ENABLED
+    _JSON_ENABLED = bool(config.getoption("--json", default=False))
 
 IC_QUERIES = [f"IC{i}" for i in range(1, 15)]
 VARIANTS = ("GES", "GES_f", "GES_f*")
@@ -46,8 +65,17 @@ def dataset_for(scale: str):
     return _DATASETS[scale]
 
 
-def emit(lines: str | list[str], archive: str | None = None) -> None:
-    """Print paper-style output past pytest's capture; archive to results/."""
+def emit(
+    lines: str | list[str],
+    archive: str | None = None,
+    data: dict | list | None = None,
+) -> None:
+    """Print paper-style output past pytest's capture; archive to results/.
+
+    When the run was invoked with ``--json`` and *data* is given, the same
+    results are also written machine-readable to ``results/<archive>.json``
+    (harness consumers parse that instead of the paper-style table).
+    """
     text = lines if isinstance(lines, str) else "\n".join(lines)
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
@@ -56,6 +84,11 @@ def emit(lines: str | list[str], archive: str | None = None) -> None:
         path = RESULTS_DIR / archive
         with open(path, "a") as handle:
             handle.write(text + "\n")
+        if _JSON_ENABLED and data is not None:
+            json_path = path.with_suffix(".json")
+            with open(json_path, "w") as handle:
+                json.dump(data, handle, indent=2, default=float)
+                handle.write("\n")
 
 
 def measure_query(engine, name: str, params_list) -> tuple[float, int]:
@@ -64,9 +97,9 @@ def measure_query(engine, name: str, params_list) -> tuple[float, int]:
     peak = 0
     for params in params_list:
         stats = ExecStats()
-        started = time.perf_counter()
+        started = now()
         REGISTRY[name].fn(engine, params, stats)
-        total += time.perf_counter() - started
+        total += now() - started
         peak = max(peak, stats.peak_intermediate_bytes)
     return total / len(params_list), peak
 

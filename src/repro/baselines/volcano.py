@@ -16,12 +16,12 @@ shape.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Iterator, Mapping
 
 from ..engine.config import EngineConfig
 from ..errors import ExecutionError
 from ..exec.base import ExecStats, QueryResult
+from ..obs.clock import now
 from ..exec.procedures import get_procedure
 from ..plan.logical import (
     Aggregate,
@@ -89,16 +89,16 @@ class VolcanoEngine:
         stats = stats if stats is not None else ExecStats()
         view = view if view is not None else self.read_view()
         labels = resolve_labels(plan, view.schema)
-        started = time.perf_counter()
+        started = now()
         rows: list[Row] = []
         for op in plan.ops:
-            op_start = time.perf_counter()
+            op_start = now()
             rows = _dispatch(rows, op, view, params, labels)
             width = len(rows[0]) if rows else 0
             stats.record_op(
-                op.op_name, time.perf_counter() - op_start, len(rows) * width * _VALUE_BYTES
+                op.op_name, now() - op_start, len(rows) * width * _VALUE_BYTES
             )
-        stats.total_seconds += time.perf_counter() - started
+        stats.total_seconds += now() - started
         columns = plan.returns or (list(rows[0].keys()) if rows else [])
         out = [tuple(row[c] for c in columns) for row in rows]
         stats.rows_out = len(out)

@@ -1,27 +1,32 @@
 """Command-line interface for the GES reproduction.
 
-Three subcommands::
+Subcommands::
 
     python -m repro.cli generate --scale SF10 --out /tmp/snb10
     python -m repro.cli query --scale SF1 "MATCH (p:Person) RETURN count(*) AS n"
     python -m repro.cli bench --scale SF10 --ops 200 --variant "GES_f*"
+    python -m repro.cli profile IC5 --scale SF1 --variant all
+    python -m repro.cli metrics --scale SF1 --ops 100 --format prom
 
-``query`` and ``bench`` accept either ``--scale`` (generate a mini-SNB
-graph in memory) or ``--graph DIR`` (load a snapshot written by
-``generate --out``).
+``query``, ``bench``, and ``profile`` accept either ``--scale`` (generate
+a mini-SNB graph in memory) or ``--graph DIR`` (load a snapshot written by
+``generate --out``).  ``profile`` renders the per-operator span tree of
+one query (an LDBC name like ``IC5`` or raw Cypher); ``metrics`` runs a
+short driver workload and exports the process metrics registry as
+Prometheus text or JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-
-import numpy as np
 
 from . import GES, EngineConfig
 from .baselines import VolcanoEngine
+from .exec.base import ExecStats
 from .ldbc import BenchmarkDriver, SCALE_FACTORS, generate, validate
+from .obs import get_registry, metrics_json, prometheus_text, render_span_tree
+from .obs.clock import now
 from .storage import GraphStore, load_graph, save_graph
 
 VARIANTS = {
@@ -52,9 +57,9 @@ def _make_engine(store: GraphStore, variant: str, plan_cache: bool = True):
 
 def cmd_generate(args: argparse.Namespace) -> int:
     """Generate a mini-SNB graph, print stats, optionally snapshot it."""
-    started = time.perf_counter()
+    started = now()
     dataset = generate(args.scale, seed=args.seed)
-    elapsed = time.perf_counter() - started
+    elapsed = now() - started
     info = dataset.info
     print(
         f"{args.scale}: {info.num_persons} persons, {info.num_forums} forums, "
@@ -74,10 +79,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     engine = _make_engine(store, args.variant, plan_cache=not args.no_plan_cache)
     if engine.variant == "Volcano":
         raise SystemExit("the Volcano baseline takes logical plans, not Cypher")
-    params = {}
-    for binding in args.param or []:
-        name, _, value = binding.partition("=")
-        params[name] = int(value) if value.lstrip("-").isdigit() else value
+    params = _parse_params(args.param)
     result = engine.execute(args.cypher, params)
     if args.format == "json":
         import json
@@ -112,11 +114,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"({args.workers} worker{'s' if args.workers != 1 else ''})"
     )
     for category in ("IC", "IS", "IU"):
-        lat = report.latencies(category=category)
-        if len(lat):
+        summary = report.latency_summary(category=category)
+        if summary["n"]:
             print(
-                f"  {category}: n={len(lat)} mean={lat.mean() * 1e3:.2f}ms "
-                f"p95={float(np.percentile(lat, 95)) * 1e3:.2f}ms"
+                f"  {category}: n={summary['n']} mean={summary['mean_ms']:.2f}ms "
+                f"p50={summary['p50_ms']:.2f}ms p95={summary['p95_ms']:.2f}ms "
+                f"p99={summary['p99_ms']:.2f}ms"
             )
     print(
         f"  compile: {report.compile_seconds * 1e3:.2f}ms total "
@@ -131,6 +134,67 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     else:
         print("  plan cache: disabled")
+    return 0
+
+
+def _parse_params(bindings: list[str] | None) -> dict[str, object]:
+    params: dict[str, object] = {}
+    for binding in bindings or []:
+        name, _, value = binding.partition("=")
+        params[name] = int(value) if value.lstrip("-").isdigit() else value
+    return params
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Render the per-operator span tree of one query (EXPLAIN ANALYZE).
+
+    The target is either a registered LDBC query name (``IC5`` — parameters
+    drawn from the dataset's generator) or raw Cypher text (parameters via
+    ``--param``); ``--variant all`` profiles every paper variant on the
+    same store.
+    """
+    from .engine.service import profile_summary
+    from .ldbc import ParameterGenerator, REGISTRY
+
+    store, dataset = _resolve_store(args)
+    variants = list(VARIANTS) if args.variant == "all" else [args.variant]
+    is_ldbc = args.target in REGISTRY
+    if is_ldbc:
+        if dataset is None:
+            raise SystemExit("profiling an LDBC query needs --scale, not --graph")
+        params = ParameterGenerator(dataset, seed=args.seed).params_for(args.target)
+    else:
+        params = _parse_params(args.param)
+    for variant in variants:
+        engine = _make_engine(store, variant)
+        if is_ldbc:
+            stats = ExecStats()
+            stats.begin_trace()
+            REGISTRY[args.target].fn(engine, dict(params), stats)
+            print(f"EXPLAIN ANALYZE ({variant}) — {args.target}")
+            print(render_span_tree(stats.trace.finish()))
+            print(profile_summary(stats))
+        else:
+            print(engine.explain_analyze(args.target, params))
+        print()
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a short LDBC workload, then export the process metrics registry."""
+    import json
+
+    variants = list(VARIANTS) if args.variant == "all" else [args.variant]
+    for variant in variants:
+        # Fresh store per variant: the stream's IU inserts mutate it.
+        dataset = generate(args.scale, seed=args.seed)
+        engine = _make_engine(dataset.store, variant)
+        BenchmarkDriver(engine, dataset, seed=args.seed).run(args.ops)
+    registry = get_registry()
+    if args.format in ("prom", "both"):
+        print(prometheus_text(registry), end="")
+    if args.format in ("json", "both"):
+        print(json.dumps(metrics_json(registry), indent=2, default=str))
     return 0
 
 
@@ -180,6 +244,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-plan-cache", action="store_true", help="disable the plan cache (ablation)"
     )
     bench.set_defaults(fn=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="EXPLAIN ANALYZE: span tree of one query"
+    )
+    profile.add_argument("target", help="LDBC query name (e.g. IC5) or Cypher text")
+    profile.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    profile.add_argument("--graph", help="snapshot directory instead of --scale")
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument(
+        "--variant", default="GES_f*", help="engine variant, or 'all' for all three"
+    )
+    profile.add_argument("--param", action="append", metavar="NAME=VALUE")
+    profile.set_defaults(fn=cmd_profile)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a workload and export the metrics registry"
+    )
+    metrics.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    metrics.add_argument("--ops", type=int, default=100)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument(
+        "--variant", default="GES_f*", help="engine variant, or 'all' for all three"
+    )
+    metrics.add_argument("--format", choices=("prom", "json", "both"), default="prom")
+    metrics.set_defaults(fn=cmd_metrics)
 
     check = sub.add_parser("validate", help="audit engine agreement on reads")
     check.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))

@@ -85,6 +85,18 @@ def materialize_rows(tree: FTree) -> dict[int, np.ndarray]:
     return recurse(tree.root)
 
 
+def slot_count(tree: FTree) -> int:
+    """Total f-Tree entries ("slots") across every node's block.
+
+    The denominator of the factorization compression ratio
+    ``flat tuple count ÷ slot count`` (FDB's factorized-vs-flat signal):
+    a de-factored relation stores one value per tuple per attribute, the
+    f-Tree stores one per slot — the quotient is how much the
+    factorization compressed the intermediate result.
+    """
+    return sum(len(node.block) for node in tree.nodes())
+
+
 def materialize(tree: FTree, attrs: Sequence[str] | None = None) -> FlatBlock:
     """De-factor *tree* into a flat block over *attrs* (default: full schema)."""
     attrs = list(attrs) if attrs is not None else tree.schema

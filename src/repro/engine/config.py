@@ -25,9 +25,17 @@ class EngineConfig:
     workers: int = 1  # inter-query parallelism
     plan_cache: bool = True  # cache compiled physical plans (ablation knob)
     plan_cache_size: int = 128  # LRU capacity when the cache is enabled
+    tracing: bool = False  # per-query span trees (repro.obs.tracing)
+    metrics: bool = True  # engine-level instruments (repro.obs.metrics)
 
     @classmethod
-    def ges(cls, workers: int = 1, plan_cache: bool = True) -> "EngineConfig":
+    def ges(
+        cls,
+        workers: int = 1,
+        plan_cache: bool = True,
+        tracing: bool = False,
+        metrics: bool = True,
+    ) -> "EngineConfig":
         """The flat baseline variant (paper: GES)."""
         return cls(
             name="GES",
@@ -36,10 +44,18 @@ class EngineConfig:
             primitives="flat-block",
             workers=workers,
             plan_cache=plan_cache,
+            tracing=tracing,
+            metrics=metrics,
         )
 
     @classmethod
-    def ges_f(cls, workers: int = 1, plan_cache: bool = True) -> "EngineConfig":
+    def ges_f(
+        cls,
+        workers: int = 1,
+        plan_cache: bool = True,
+        tracing: bool = False,
+        metrics: bool = True,
+    ) -> "EngineConfig":
         """The factorized variant without fusion (paper: GES_f)."""
         return cls(
             name="GES_f",
@@ -47,10 +63,18 @@ class EngineConfig:
             optimizer="none",
             workers=workers,
             plan_cache=plan_cache,
+            tracing=tracing,
+            metrics=metrics,
         )
 
     @classmethod
-    def ges_f_star(cls, workers: int = 1, plan_cache: bool = True) -> "EngineConfig":
+    def ges_f_star(
+        cls,
+        workers: int = 1,
+        plan_cache: bool = True,
+        tracing: bool = False,
+        metrics: bool = True,
+    ) -> "EngineConfig":
         """The factorized variant with operator fusion (paper: GES_f*)."""
         return cls(
             name="GES_f*",
@@ -58,6 +82,8 @@ class EngineConfig:
             optimizer="fusion",
             workers=workers,
             plan_cache=plan_cache,
+            tracing=tracing,
+            metrics=metrics,
         )
 
 

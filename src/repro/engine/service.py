@@ -20,10 +20,12 @@ Typical use::
 
 from __future__ import annotations
 
-import time
 from typing import Any, Mapping
 
 from ..exec.base import ExecStats, QueryResult
+from ..obs.clock import now
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import Span
 from ..plan.logical import LogicalPlan
 from ..storage.catalog import GraphSchema
 from ..storage.graph import GraphReadView, GraphStore
@@ -62,6 +64,40 @@ class GraphEngineService:
             PlanCache(self.config.plan_cache_size) if self.config.plan_cache else None
         )
         self._schema_fingerprint = self.store.schema.fingerprint()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Bind this instance's engine-level instruments (one lookup each,
+        so the per-query path touches pre-resolved objects only)."""
+        if not self.config.metrics:
+            self._m_queries = None
+            return
+        variant = self.config.name
+        self._m_queries = REGISTRY.counter(
+            "ges_queries_total", "Queries served, by engine variant.",
+            variant=variant,
+        )
+        self._m_latency = REGISTRY.histogram(
+            "ges_query_seconds", "End-to-end query service time.",
+            variant=variant,
+        )
+        self._m_cache_hits = REGISTRY.counter(
+            "ges_plan_cache_hits_total", "Plan-cache hits.", variant=variant
+        )
+        self._m_cache_misses = REGISTRY.counter(
+            "ges_plan_cache_misses_total", "Plan-cache misses.", variant=variant
+        )
+        self._m_defactor = REGISTRY.counter(
+            "ges_defactor_total",
+            "Times the factorized executor fell back to a flat block.",
+            variant=variant,
+        )
+        self._m_compression = REGISTRY.histogram(
+            "ges_compression_ratio",
+            "Flat tuple count / f-Tree slot count at each flattening.",
+            lowest=1e-3,
+            variant=variant,
+        )
 
     # -- queries --------------------------------------------------------------
 
@@ -79,15 +115,15 @@ class GraphEngineService:
         if self.config.parser == "cypher":
             from ..frontend.cypher import Binder, parse_cypher
 
-            started = time.perf_counter()
+            started = now()
             tree = parse_cypher(query)
-            parsed = time.perf_counter()
+            parsed = now()
             logical = Binder(self.store.schema).bind(tree)
-            bound = time.perf_counter()
+            bound = now()
             return logical, {"parse": parsed - started, "bind": bound - parsed}
-        started = time.perf_counter()
+        started = now()
         logical = self._parse(query, self.store.schema)
-        return logical, {"parse": time.perf_counter() - started}
+        return logical, {"parse": now() - started}
 
     def _cache_key(self, query: str | LogicalPlan) -> tuple[Any, ...] | None:
         """Plan-cache key for *query*, or None when it must not be cached.
@@ -115,33 +151,47 @@ class GraphEngineService:
         """The physical pipeline this instance would run for *query*.
 
         Served from the plan cache when possible; compile timings and the
-        cache outcome are recorded into *stats* when given.
+        cache outcome are recorded into *stats* when given.  Traced stats
+        additionally get a ``compile`` span (children: parse/bind/optimize,
+        or a bare cache-hit marker).
         """
-        started = time.perf_counter()
+        started = now()
         key = self._cache_key(query)
         if key is not None:
             cached = self.plan_cache.lookup(key)  # type: ignore[union-attr]
             if cached is not None:
                 if stats is not None:
-                    stats.record_compile(
-                        time.perf_counter() - started, cache_hit=True
-                    )
+                    stats.record_compile(now() - started, cache_hit=True)
+                    if stats.trace is not None:
+                        stats.trace.add("compile", started, now(), cache="hit")
                 return cached
         if isinstance(query, str):
             logical, stages = self._compile_stages(query)
         else:
             logical, stages = query, {}
-        optimize_started = time.perf_counter()
+        optimize_started = now()
         physical = self._optimize(logical)
-        stages["optimize"] = time.perf_counter() - optimize_started
+        stages["optimize"] = now() - optimize_started
         if key is not None:
             self.plan_cache.store(key, physical)  # type: ignore[union-attr]
         if stats is not None:
             stats.record_compile(
-                time.perf_counter() - started,
+                now() - started,
                 stages,
                 cache_hit=False if self.plan_cache is not None else None,
             )
+            if stats.trace is not None:
+                span = stats.trace.add("compile", started, now())
+                if self.plan_cache is not None:
+                    span.attrs["cache"] = "miss"
+                # Stage spans are synthesized back-to-back from the measured
+                # durations (the stages themselves ran sequentially).
+                at = started
+                for stage_name, stage_seconds in stages.items():
+                    span.children.append(
+                        Span.completed(stage_name, at, at + stage_seconds)
+                    )
+                    at += stage_seconds
         return physical
 
     def execute(
@@ -156,13 +206,70 @@ class GraphEngineService:
         Reads run against a snapshot view when any write has committed
         (non-blocking MV2PL reads); before the first write the unversioned
         fast path is used.
+
+        With ``config.tracing`` on (or a tracer already attached to
+        *stats*, as :meth:`explain_analyze` does) the call records a span
+        tree; engine-level metrics are updated either way when
+        ``config.metrics`` is on.
         """
         if stats is None:
             stats = ExecStats()
+        if self.config.tracing and stats.trace is None:
+            stats.begin_trace()
+        measured = self._m_queries is not None
+        if measured:
+            started = now()
+            pre_hits = stats.plan_cache_hits
+            pre_misses = stats.plan_cache_misses
+            pre_defactor = stats.defactor_count
+            pre_tuples = stats.flat_tuples
+            pre_slots = stats.ftree_slots
         physical = self.plan(query, stats=stats)
         if view is None:
             view = self.read_view()
-        return self._execute(physical, view, params, stats)
+        result = self._execute(physical, view, params, stats)
+        if stats.trace is not None:
+            stats.trace.touch()
+            stats.trace.root.attrs["rows"] = len(result)
+        if measured:
+            self._m_queries.inc()
+            self._m_latency.observe(now() - started)
+            if stats.plan_cache_hits > pre_hits:
+                self._m_cache_hits.inc(stats.plan_cache_hits - pre_hits)
+            if stats.plan_cache_misses > pre_misses:
+                self._m_cache_misses.inc(stats.plan_cache_misses - pre_misses)
+            if stats.defactor_count > pre_defactor:
+                self._m_defactor.inc(stats.defactor_count - pre_defactor)
+            slots = stats.ftree_slots - pre_slots
+            if slots > 0:
+                self._m_compression.observe(
+                    (stats.flat_tuples - pre_tuples) / slots
+                )
+        return result
+
+    def explain_analyze(
+        self, query: str | LogicalPlan, params: Mapping[str, Any] | None = None
+    ) -> str:
+        """EXPLAIN ANALYZE: run *query* with tracing forced, render the profile.
+
+        Returns the per-operator span tree with timings plus a summary
+        line (rows, peak intermediate bytes, defactor count, compression
+        ratio) — the introspection surface behind the CLI ``profile``
+        command.  Tracing is forced for this execution only; the engine's
+        ``config.tracing`` setting is untouched.
+        """
+        from ..obs.export import render_span_tree
+
+        stats = ExecStats()
+        stats.begin_trace()
+        result = self.execute(query, params, stats=stats)
+        return "\n".join(
+            [
+                f"EXPLAIN ANALYZE ({self.config.name})",
+                render_span_tree(stats.trace.finish()),
+                profile_summary(stats),
+            ]
+        )
 
     def explain(self, query: str | LogicalPlan) -> str:
         """A human-readable description of the physical pipeline.
@@ -233,6 +340,24 @@ class GraphEngineService:
             ),
             "modules": self.registry.describe(),
         }
+
+
+def profile_summary(stats: ExecStats) -> str:
+    """One-line footer for EXPLAIN ANALYZE / CLI ``profile`` output."""
+    parts = [
+        f"rows={stats.rows_out}",
+        f"total={stats.total_seconds * 1e3:.3f}ms",
+        f"compile={stats.compile_seconds * 1e3:.3f}ms",
+        f"peak_intermediate={stats.peak_intermediate_bytes}B",
+        f"defactor={stats.defactor_count}",
+    ]
+    if stats.ftree_slots:
+        parts.append(f"compression={stats.compression_ratio:.2f}x")
+    if stats.plan_cache_hits or stats.plan_cache_misses:
+        parts.append(
+            f"plan_cache={stats.plan_cache_hits}h/{stats.plan_cache_misses}m"
+        )
+    return "-- " + " ".join(parts)
 
 
 #: Short alias used throughout examples and benchmarks.

@@ -8,7 +8,6 @@ through operators, and the :class:`QueryResult` returned to callers.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -16,6 +15,8 @@ import numpy as np
 
 from ..core.flatblock import FlatBlock
 from ..errors import ExecutionError
+from ..obs.clock import now
+from ..obs.tracing import SpanTracer
 from ..storage.graph import GraphReadView
 from ..types import DataType
 
@@ -36,6 +37,13 @@ class ExecStats:
       execution.
     * ``plan_cache_hits`` / ``plan_cache_misses`` — plan-cache outcomes of
       the compiles behind this query (untouched when the cache is off).
+    * ``flat_tuples`` / ``ftree_slots`` — accumulated whenever an f-Tree is
+      flattened: output tuple count vs. the f-Tree entries ("slots") that
+      encoded them.  Their quotient is the factorization compression ratio
+      (FDB-style), exported as ``ges_compression_ratio``.
+    * ``trace`` — the per-query span tree (:mod:`repro.obs.tracing`) when
+      tracing is on; the flat aggregates above are the derived view of it
+      kept for backward compatibility and always-on cheap accounting.
     """
 
     def __init__(self) -> None:
@@ -49,6 +57,20 @@ class ExecStats:
         self.stage_times: dict[str, float] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.flat_tuples = 0
+        self.ftree_slots = 0
+        self.trace: SpanTracer | None = None
+
+    def begin_trace(self, name: str = "query") -> SpanTracer:
+        """Attach a span tracer, making this query's execution traced.
+
+        Idempotent: an already-attached tracer is kept (multi-stage LDBC
+        queries thread one ExecStats through several ``execute`` calls, all
+        landing under one root span).
+        """
+        if self.trace is None:
+            self.trace = SpanTracer(name)
+        return self.trace
 
     def record_op(self, name: str, seconds: float, out_bytes: int) -> None:
         self.op_times[name] = self.op_times.get(name, 0.0) + seconds
@@ -62,6 +84,22 @@ class ExecStats:
 
     def note_defactor(self) -> None:
         self.defactor_count += 1
+        if self.trace is not None:
+            attrs = self.trace.current.attrs
+            attrs["defactor"] = attrs.get("defactor", 0) + 1
+
+    def note_compression(self, flat_tuples: int, ftree_slots: int) -> None:
+        """Account one f-Tree flattening: tuples produced vs. slots held."""
+        self.flat_tuples += flat_tuples
+        self.ftree_slots += ftree_slots
+
+    @property
+    def compression_ratio(self) -> float:
+        """Flat tuple count ÷ f-Tree slot count (>1 ⇒ factorization won);
+        nan when nothing was ever flattened (e.g. the flat executor)."""
+        if not self.ftree_slots:
+            return float("nan")
+        return self.flat_tuples / self.ftree_slots
 
     def record_compile(
         self,
@@ -88,7 +126,13 @@ class ExecStats:
         return self.plan_cache_hits > 0 and self.plan_cache_misses == 0
 
     def merge(self, other: "ExecStats") -> None:
-        """Fold another query stage's stats into this one."""
+        """Fold another query stage's stats into this one.
+
+        Every data field must be carried here — the round-trip test in
+        ``tests/test_observability.py`` populates *all* public fields via
+        reflection and asserts merging into a fresh ExecStats loses
+        nothing, so a future field missed here fails loudly.
+        """
         for name, seconds in other.op_times.items():
             self.op_times[name] = self.op_times.get(name, 0.0) + seconds
         self.op_sequence.extend(other.op_sequence)
@@ -103,6 +147,13 @@ class ExecStats:
             self.stage_times[name] = self.stage_times.get(name, 0.0) + seconds
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
+        self.flat_tuples += other.flat_tuples
+        self.ftree_slots += other.ftree_slots
+        if other.trace is not None:
+            if self.trace is None:
+                self.trace = other.trace
+            else:
+                self.trace.adopt(other.trace)
 
     def dominant_operator(self) -> tuple[str, float]:
         """(name, share of total op time) of the costliest operator."""
@@ -156,6 +207,9 @@ class ExecutionContext:
         self.view = view
         self.params: dict[str, Any] = dict(params or {})
         self.stats = stats if stats is not None else ExecStats()
+        # Cached so hot paths pay one attribute read, not two, to decide
+        # whether spans exist for this query.
+        self.tracing = self.stats.trace is not None
         self.var_labels: dict[str, str] = {}
 
     def label_of(self, var: str) -> str:
@@ -166,21 +220,38 @@ class ExecutionContext:
 
 
 class OpTimer:
-    """Context manager timing one operator and recording the output size."""
+    """Context manager timing one operator and recording the output size.
+
+    When the query is traced, each OpTimer additionally opens one span
+    under the current one; :meth:`annotate` attaches operator attributes
+    (rows, f-Block count, …) to it.  Untraced queries never allocate a
+    span — the only extra cost is a None check on enter and exit.
+    """
 
     def __init__(self, ctx: ExecutionContext, name: str) -> None:
         self.ctx = ctx
         self.name = name
         self._start = 0.0
         self.out_bytes = 0
+        self._span = None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to this operator's span (no-op untraced)."""
+        if self._span is not None:
+            self._span.attrs.update(attrs)
 
     def __enter__(self) -> "OpTimer":
-        self._start = time.perf_counter()
+        if self.ctx.tracing:
+            self._span = self.ctx.stats.trace.begin(self.name)
+        self._start = now()
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
-        elapsed = time.perf_counter() - self._start
+        elapsed = now() - self._start
         self.ctx.stats.record_op(self.name, elapsed, self.out_bytes)
+        if self._span is not None:
+            self._span.attrs.setdefault("out_bytes", self.out_bytes)
+            self.ctx.stats.trace.end()
 
 
 class BlockResolver:

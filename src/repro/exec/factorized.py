@@ -20,14 +20,14 @@ materializing a flat block first.
 
 from __future__ import annotations
 
-import time
 import heapq
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..core.column import Column
-from ..core.defactor import materialize
+from ..core.defactor import materialize, slot_count
+from ..obs.clock import now
 from ..core.fblock import FBlock
 from ..core.flatblock import FlatBlock, sort_key_array
 from ..core.ftree import FTree, FTreeNode, IndexVector
@@ -118,15 +118,38 @@ def execute_factorized(
     """Run *plan* keeping intermediate results factorized when possible."""
     ctx = ExecutionContext(view, params, stats)
     ctx.var_labels = resolve_labels(plan, view.schema)
-    started = time.perf_counter()
+    if ctx.tracing:
+        ctx.stats.trace.begin("execute")
+    started = now()
     state = PipelineState()
-    for op in plan.ops:
-        with OpTimer(ctx, op.op_name) as timer:
-            dispatch_factorized(state, op, ctx)
-            timer.out_bytes = state.nbytes
-    result = _finalize(state, plan, ctx)
-    ctx.stats.total_seconds += time.perf_counter() - started
+    try:
+        for op in plan.ops:
+            with OpTimer(ctx, op.op_name) as timer:
+                dispatch_factorized(state, op, ctx)
+                timer.out_bytes = state.nbytes
+                if ctx.tracing:
+                    _annotate_state(timer, state)
+        result = _finalize(state, plan, ctx)
+        ctx.stats.total_seconds += now() - started
+    finally:
+        if ctx.tracing:
+            ctx.stats.trace.end(
+                peak_bytes=ctx.stats.peak_intermediate_bytes,
+                variant="factorized",
+            )
     return result
+
+
+def _annotate_state(timer: OpTimer, state: PipelineState) -> None:
+    """Span attributes of the operator's output (traced queries only)."""
+    if state.tree is not None:
+        timer.annotate(
+            factorized=True,
+            fblocks=sum(1 for _ in state.tree.nodes()),
+            slots=slot_count(state.tree),
+        )
+    elif state.flat is not None:
+        timer.annotate(factorized=False, rows_out=len(state.flat))
 
 
 def _finalize(state: PipelineState, plan: LogicalPlan, ctx: ExecutionContext) -> QueryResult:
@@ -136,6 +159,7 @@ def _finalize(state: PipelineState, plan: LogicalPlan, ctx: ExecutionContext) ->
         attrs = plan.returns or state.output_attrs()
         block = materialize(state.tree, attrs)
         ctx.stats.note_bytes(state.tree.nbytes)
+        ctx.stats.note_compression(len(block), slot_count(state.tree))
     else:
         assert state.flat is not None
         block = state.flat
@@ -164,6 +188,7 @@ def defactor(state: PipelineState, ctx: ExecutionContext) -> FlatBlock:
     ctx.stats.note_defactor()
     # De-factoring holds the f-Tree and the produced flat block at once.
     ctx.stats.note_bytes(tree_bytes + block.nbytes)
+    ctx.stats.note_compression(len(block), slot_count(state.tree))
     state.tree = None
     state.flat = block
     state.projection = None

@@ -13,7 +13,6 @@ completion", paper §4).
 
 from __future__ import annotations
 
-import time
 from typing import Any, Mapping
 
 import numpy as np
@@ -42,6 +41,7 @@ from ..plan.logical import (
     VertexExpand,
     resolve_labels,
 )
+from ..obs.clock import now
 from ..storage.graph import GraphReadView
 from ..types import DataType, NULL_FLOAT, NULL_INT
 from .base import BlockResolver, ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
@@ -58,17 +58,30 @@ def execute_flat(
     """Run *plan* with flat (fully materialized) intermediate results."""
     ctx = ExecutionContext(view, params, stats)
     ctx.var_labels = resolve_labels(plan, view.schema)
-    started = time.perf_counter()
+    if ctx.tracing:
+        ctx.stats.trace.begin("execute")
+    started = now()
     block: FlatBlock | None = None
-    for op in plan.ops:
-        with OpTimer(ctx, op.op_name) as timer:
-            previous = block
-            block = dispatch_flat(block, op, ctx)
-            # Piping tuples between operators keeps the consumed input and
-            # the produced output resident at once (paper §3).
-            timer.out_bytes = block.nbytes + (previous.nbytes if previous is not None else 0)
-    assert block is not None
-    ctx.stats.total_seconds += time.perf_counter() - started
+    try:
+        for op in plan.ops:
+            with OpTimer(ctx, op.op_name) as timer:
+                previous = block
+                block = dispatch_flat(block, op, ctx)
+                # Piping tuples between operators keeps the consumed input and
+                # the produced output resident at once (paper §3).
+                timer.out_bytes = block.nbytes + (previous.nbytes if previous is not None else 0)
+                if ctx.tracing:
+                    timer.annotate(
+                        rows_in=len(previous) if previous is not None else 0,
+                        rows_out=len(block),
+                    )
+        assert block is not None
+        ctx.stats.total_seconds += now() - started
+    finally:
+        if ctx.tracing:
+            ctx.stats.trace.end(
+                peak_bytes=ctx.stats.peak_intermediate_bytes, variant="flat"
+            )
     return result_from_flat(block, plan.returns, ctx.stats)
 
 

@@ -15,7 +15,6 @@ the paper's 96-vCPU cluster; see DESIGN.md).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -25,6 +24,8 @@ from ..engine.service import GraphEngineService
 from ..errors import DriverError
 from ..exec.base import ExecStats
 from ..exec.runtime import simulate_service
+from ..obs.clock import now
+from ..obs.metrics import Histogram, REGISTRY as METRICS
 from .datagen import SnbDataset
 from .params import CATEGORY_MIX, INTERLEAVES, ParameterGenerator
 from .queries import REGISTRY  # noqa: F401  (imports register all queries)
@@ -81,15 +82,52 @@ class DriverReport:
             if (name is None or log.name == name)
             and (category is None or log.category == category)
         ]
-        return np.asarray(values)
+        return np.asarray(values, dtype=np.float64)
 
     def mean_latency_ms(self, name: str) -> float:
         lat = self.latencies(name)
         return float(lat.mean() * 1e3) if len(lat) else float("nan")
 
     def percentile_latency_ms(self, name: str, pct: float) -> float:
+        """Exact percentile over the raw samples, in milliseconds.
+
+        Well-defined on degenerate streams: nan with no samples, the
+        sample itself with exactly one.
+        """
         lat = self.latencies(name)
         return float(np.percentile(lat, pct) * 1e3) if len(lat) else float("nan")
+
+    # -- histogram-primitive view (repro.obs.metrics) -------------------------
+
+    def latency_histogram(
+        self, name: str | None = None, category: str | None = None
+    ) -> Histogram:
+        """The matching operations' latencies folded into a log-bucketed
+        :class:`~repro.obs.metrics.Histogram` (the primitive the metrics
+        registry exports)."""
+        histogram = Histogram()
+        for value in self.latencies(name, category):
+            histogram.observe(float(value))
+        return histogram
+
+    def latency_summary(
+        self, name: str | None = None, category: str | None = None
+    ) -> dict[str, float]:
+        """n / mean / p50 / p95 / p99 milliseconds via the histogram primitives.
+
+        Defined for every stream shape: all-nan percentiles on an empty
+        selection, exact values on a singleton (the histogram clamps its
+        estimates to the observed range).
+        """
+        histogram = self.latency_histogram(name, category)
+        summary = histogram.summary()
+        return {
+            "n": int(summary["count"]),
+            "mean_ms": summary["mean"] * 1e3,
+            "p50_ms": summary["p50"] * 1e3,
+            "p95_ms": summary["p95"] * 1e3,
+            "p99_ms": summary["p99"] * 1e3,
+        }
 
     def count(self, category: str | None = None) -> int:
         return len([log for log in self.logs if category is None or log.category == category])
@@ -164,12 +202,17 @@ class DriverReport:
         self, rate: float, workers: int, window_seconds: float = 10.0
     ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
         """Windowed completed-ops/s per category at a given arrival rate
-        (the Figure 14 stability trace)."""
+        (the Figure 14 stability trace).  An empty report yields an empty
+        mapping (there is no window to histogram)."""
+        if not self.logs:
+            return {}
         services = np.asarray([log.service_seconds for log in self.logs])
         arrivals = np.arange(len(services)) / rate
         sim = simulate_service(arrivals, services, workers)
-        horizon = float(sim.completion_times.max()) if len(services) else 0.0
+        horizon = float(sim.completion_times.max())
         edges = np.arange(0.0, horizon + window_seconds, window_seconds)
+        if len(edges) < 2:  # sub-window stream: one window covers it all
+            edges = np.asarray([0.0, window_seconds])
         out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         categories = {log.category for log in self.logs} | {"ALL"}
         for category in sorted(categories):
@@ -235,21 +278,30 @@ class BenchmarkDriver:
         return operations
 
     def run(self, num_operations: int = 200) -> DriverReport:
-        """Execute the stream back-to-back, measuring true service times."""
+        """Execute the stream back-to-back, measuring true service times.
+
+        Each operation's latency also lands in the process metrics
+        registry (``ges_ldbc_latency_seconds{category,query}`` plus the
+        per-category operation counter), so a CLI ``metrics`` export after
+        a run carries per-LDBC-query-type p50/p95/p99.
+        """
         operations = self.build_schedule(num_operations)
         report = DriverReport(
             variant=self.engine.variant, scale=self.dataset.info.scale.name
         )
-        wall_start = time.perf_counter()
+        metrics_on = getattr(self.engine, "config", None) is None or self.engine.config.metrics
+        latency_hists: dict[str, Histogram] = {}
+        category_counters: dict[str, Any] = {}
+        wall_start = now()
         for op in operations:
             definition = REGISTRY[op.name]
             stats = ExecStats()
-            started = time.perf_counter()
+            started = now()
             try:
                 rows = definition.fn(self.engine, op.params, stats)
             except Exception as exc:  # audit: every operation must succeed
                 raise DriverError(f"{op.name} failed with params {op.params}") from exc
-            elapsed = time.perf_counter() - started
+            elapsed = now() - started
             report.logs.append(
                 OperationLog(
                     op.name,
@@ -262,7 +314,27 @@ class BenchmarkDriver:
                     plan_cache_misses=stats.plan_cache_misses,
                 )
             )
-        report.wall_seconds = time.perf_counter() - wall_start
+            if metrics_on:
+                hist = latency_hists.get(op.name)
+                if hist is None:
+                    hist = METRICS.histogram(
+                        "ges_ldbc_latency_seconds",
+                        "Per-LDBC-query service time.",
+                        category=op.category,
+                        query=op.name,
+                    )
+                    latency_hists[op.name] = hist
+                hist.observe(elapsed)
+                counter = category_counters.get(op.category)
+                if counter is None:
+                    counter = METRICS.counter(
+                        "ges_ldbc_operations_total",
+                        "LDBC operations executed, by category.",
+                        category=op.category,
+                    )
+                    category_counters[op.category] = counter
+                counter.inc()
+        report.wall_seconds = now() - wall_start
         self._audit(report, operations)
         return report
 

@@ -8,19 +8,19 @@ snapshot readers never see half-applied updates.
 
 from __future__ import annotations
 
-import time
 from typing import Any
 
 from ...engine.service import GraphEngineService
 from ...exec.base import ExecStats
+from ...obs.clock import now
 from ...storage.graph import VertexRef
 from .common import register
 
 
 def _timed(stats: ExecStats, name: str, fn) -> list[tuple]:
-    started = time.perf_counter()
+    started = now()
     fn()
-    elapsed = time.perf_counter() - started
+    elapsed = now() - started
     stats.record_op(name, elapsed, 0)
     stats.total_seconds += elapsed
     return []

@@ -1,0 +1,43 @@
+"""Observability substrate: query tracing, engine metrics, exporters.
+
+Three pieces (see DESIGN.md's "Observability architecture" section):
+
+* :mod:`repro.obs.tracing` — per-query span trees (compile stages, one
+  span per physical operator) behind ``EngineConfig.tracing`` and
+  ``GES.explain_analyze()``;
+* :mod:`repro.obs.metrics` — the process-wide registry of counters,
+  gauges, and log-bucketed histograms (p50/p95/p99 without retained
+  samples) that the engine, memory pool, and LDBC driver instrument into;
+* :mod:`repro.obs.export` — Prometheus-text and JSON exporters plus the
+  span-tree renderer used by the CLI ``profile`` and ``metrics`` commands.
+
+:mod:`repro.obs.clock` is the single clock source (``time.perf_counter``)
+every timing call site in the engine reads.
+"""
+
+from .clock import now
+from .export import metrics_json, prometheus_text, render_span_tree
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .tracing import Span, SpanTracer
+
+__all__ = [
+    "now",
+    "Span",
+    "SpanTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "prometheus_text",
+    "metrics_json",
+    "render_span_tree",
+]

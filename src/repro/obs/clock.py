@@ -1,0 +1,19 @@
+"""The engine's single clock source.
+
+Every timing measurement in the engine — operator timers, compile-stage
+breakdowns, driver service times, benchmark sweeps — reads this one clock,
+which is :func:`time.perf_counter`: monotonic, highest available
+resolution, immune to wall-clock adjustments.  Mixing clock sources (e.g.
+``time.time`` for some call sites) skews sub-millisecond operator timings
+by the two clocks' drift; ``tests/test_observability.py`` guards that no
+other clock is used for timing anywhere in ``src/`` or ``benchmarks/``.
+
+``now`` is a direct reference to ``time.perf_counter`` (not a wrapper), so
+routing through this module costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as now
+
+__all__ = ["now"]

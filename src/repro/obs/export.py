@@ -1,0 +1,137 @@
+"""Export surfaces for the observability substrate.
+
+Three renderers:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (HELP/TYPE lines, ``_bucket``/``_sum``/``_count`` series for histograms);
+* :func:`metrics_json` — a JSON-ready dict with histogram summaries
+  (count, mean, p50/p95/p99) instead of raw buckets;
+* :func:`render_span_tree` — the human-readable per-operator profile behind
+  ``GES.explain_analyze()`` and the CLI ``profile`` command.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .metrics import Histogram, MetricsRegistry
+from .tracing import Span
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render *registry* in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels in sorted(family.instruments):
+            instrument = family.instruments[labels]
+            if family.kind == "histogram":
+                assert isinstance(instrument, Histogram)
+                cumulative = 0
+                for bound, cum in instrument.cumulative_buckets():
+                    cumulative = cum
+                    le = 'le="' + _num(bound) + '"'
+                    lines.append(
+                        f"{family.name}_bucket{_labels_text(labels, le)} {cum}"
+                    )
+                inf = max(cumulative, instrument.count)
+                le_inf = _labels_text(labels, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{le_inf} {inf}")
+                lines.append(
+                    f"{family.name}_sum{_labels_text(labels)} {_num(instrument.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_labels_text(labels)} {instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} {_num(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """JSON-ready snapshot: histograms as percentile summaries."""
+    out: dict[str, Any] = {}
+    for family in registry.families():
+        series = []
+        for labels in sorted(family.instruments):
+            instrument = family.instruments[labels]
+            entry: dict[str, Any] = {"labels": dict(labels)}
+            if family.kind == "histogram":
+                entry.update(instrument.summary())
+            else:
+                entry["value"] = instrument.value
+            series.append(entry)
+        out[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "series": series,
+        }
+    return out
+
+
+def _fmt_attr(key: str, value: Any) -> str:
+    if key.endswith("bytes") and isinstance(value, (int, float)):
+        return f"{key}={_fmt_bytes(int(value))}"
+    if isinstance(value, float):
+        return f"{key}={value:.4g}"
+    return f"{key}={value}"
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KB"
+    return f"{n}B"
+
+
+def render_span_tree(root: Span) -> str:
+    """Render a span tree with per-span timings and attributes.
+
+    Durations are right-aligned in one column; attributes trail each span
+    in ``k=v`` form, byte-ish attributes human-formatted.
+    """
+    rows: list[tuple[str, float, str]] = []
+
+    def visit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            label = span.name
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            label = prefix + connector + span.name
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        attrs = "  ".join(_fmt_attr(k, v) for k, v in span.attrs.items())
+        rows.append((label, span.duration * 1e3, attrs))
+        for i, child in enumerate(span.children):
+            visit(child, child_prefix, i == len(span.children) - 1, False)
+
+    visit(root, "", True, True)
+    width = max(len(label) for label, _, _ in rows)
+    lines = []
+    for label, ms, attrs in rows:
+        line = f"{label:<{width}}  {ms:>9.3f} ms"
+        if attrs:
+            line += f"  {attrs}"
+        lines.append(line)
+    return "\n".join(lines)

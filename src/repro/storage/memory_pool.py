@@ -15,6 +15,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, REGISTRY
 from ..types import DataType
 
 
@@ -80,7 +81,31 @@ class MemoryPool:
         with self._lock:
             self._freelists.clear()
 
+    def bind_metrics(
+        self, registry: MetricsRegistry | None = None, **labels: str
+    ) -> None:
+        """Expose this pool's occupancy and hit rate as callback gauges.
+
+        Callback gauges read the pool lazily at export time, so an idle
+        pool costs nothing; *labels* distinguish multiple pools (the
+        default pool registers with ``pool="default"``).
+        """
+        registry = registry if registry is not None else REGISTRY
+        registry.gauge(
+            "ges_memory_pool_buffers",
+            "Buffers currently parked in the pool's freelists.",
+            fn=lambda: self.pooled_buffers,
+            **labels,
+        )
+        registry.gauge(
+            "ges_memory_pool_hit_rate",
+            "Fraction of acquires served from a freelist.",
+            fn=lambda: self.hit_rate,
+            **labels,
+        )
+
 
 #: Process-wide default pool used by the transaction layer when the engine
 #: is not configured with a dedicated one.
 DEFAULT_POOL = MemoryPool()
+DEFAULT_POOL.bind_metrics(pool="default")

@@ -111,3 +111,50 @@ class TestReportMath:
         one = report.throughput_score(1)
         two = report.throughput_score(2)
         assert 1.5 <= two / one <= 2.5
+
+
+class TestDegenerateStreams:
+    """DriverReport must be well-defined on empty and singleton runs
+    (regression: percentile/throughput math on 0- or 1-element streams)."""
+
+    def test_empty_report(self):
+        report = DriverReport("X", "SF1")
+        assert report.count() == 0
+        assert report.closed_loop_throughput == 0.0
+        assert report.throughput_score(workers=1) == 0.0
+        assert report.compile_fraction == 0.0
+        assert report.plan_cache_hit_rate == 0.0
+        assert np.isnan(report.mean_latency_ms("IC1"))
+        assert np.isnan(report.percentile_latency_ms("IC1", 99))
+        summary = report.latency_summary()
+        assert summary["n"] == 0
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert np.isnan(summary[key])
+        assert report.throughput_trace(rate=10.0, workers=1) == {}
+
+    def test_singleton_report(self):
+        report = DriverReport("X", "SF1")
+        report.logs = [OperationLog("IC1", "IC", 0.02, 5, 128)]
+        assert report.count() == 1
+        assert report.count("IC") == 1
+        assert report.mean_latency_ms("IC1") == pytest.approx(20.0)
+        # One sample: every percentile is that sample, exactly.
+        assert report.percentile_latency_ms("IC1", 50) == pytest.approx(20.0)
+        assert report.percentile_latency_ms("IC1", 99) == pytest.approx(20.0)
+        summary = report.latency_summary("IC1")
+        assert summary["n"] == 1
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert summary[key] == pytest.approx(20.0)
+        assert report.throughput_score(workers=1) > 0.0
+        trace = report.throughput_trace(rate=10.0, workers=1, window_seconds=10.0)
+        # Sub-window stream: one window covers the whole run.
+        edges, values = trace["ALL"]
+        assert len(edges) >= 1
+        assert values.sum() * 10.0 == pytest.approx(1.0)
+
+    def test_histogram_view_matches_exact_on_singleton(self):
+        report = DriverReport("X", "SF1")
+        report.logs = [OperationLog("IS2", "IS", 0.004, 1, 0)]
+        hist = report.latency_histogram("IS2")
+        assert hist.count == 1
+        assert hist.percentile(50) == pytest.approx(0.004)
