@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Mapping
 
+import numpy as np
+
 from ..engine.config import EngineConfig
 from ..errors import ExecutionError
 from ..exec.base import ExecStats, QueryResult
@@ -46,7 +48,7 @@ from ..plan.logical import (
 )
 from ..storage.graph import GraphReadView, GraphStore
 from ..txn.transaction import Transaction, TransactionManager
-from ..types import NULL_INT
+from ..types import NULL_INT, is_null
 
 Row = dict[str, Any]
 
@@ -100,7 +102,20 @@ class VolcanoEngine:
             )
         stats.total_seconds += now() - started
         columns = plan.returns or (list(rows[0].keys()) if rows else [])
-        out = [tuple(row[c] for c in columns) for row in rows]
+        # Normalize the int64 NULL sentinel to None at the result boundary,
+        # mirroring result_from_flat, so every engine surfaces one NULL
+        # representation.
+        out = [
+            tuple(
+                None
+                if isinstance(v, (int, np.integer))
+                and not isinstance(v, bool)
+                and int(v) == NULL_INT
+                else v
+                for v in (row[c] for c in columns)
+            )
+            for row in rows
+        ]
         stats.rows_out = len(out)
         return QueryResult(columns, out, stats)
 
@@ -269,7 +284,10 @@ def _aggregate(
 def _eval_agg(agg: AggSpec, members: list[Row]) -> Any:
     if agg.fn == "count" and agg.arg is None:
         return len(members)
-    values = [row[agg.arg] for row in members if row.get(agg.arg) is not None]
+    # NULLs are skipped whatever their representation (None from optional
+    # fills, the int64 sentinel, or a NaN float) — the same mask the
+    # block-based aggregation applies.
+    values = [row[agg.arg] for row in members if not is_null(row.get(agg.arg))]
     if agg.fn == "count":
         return len(values)
     if agg.fn == "count_distinct":
@@ -304,9 +322,15 @@ class _Desc:
 
 
 def _sort(rows: list[Row], keys: list[tuple[str, bool]]) -> list[Row]:
+    def value_key(value: Any) -> tuple:
+        # None (optional fill) is not comparable to concrete values; rank
+        # NULLs as a class of their own, before every non-NULL value.
+        return (0, 0) if is_null(value) else (1, value)
+
     def sort_key(row: Row) -> tuple:
         return tuple(
-            row[name] if ascending else _Desc(row[name]) for name, ascending in keys
+            value_key(row[name]) if ascending else _Desc(value_key(row[name]))
+            for name, ascending in keys
         )
 
     return sorted(rows, key=sort_key)

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli bench --scale SF10 --ops 200 --variant "GES_f*"
     python -m repro.cli profile IC5 --scale SF1 --variant all
     python -m repro.cli metrics --scale SF1 --ops 100 --format prom
+    python -m repro.cli fuzz --seed 0 --iterations 200 --corpus tests/corpus
 
 ``query``, ``bench``, and ``profile`` accept either ``--scale`` (generate
 a mini-SNB graph in memory) or ``--graph DIR`` (load a snapshot written by
@@ -198,6 +199,46 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the differential fuzzing + concurrency-stress campaign.
+
+    Every query is executed on all four engines (flat, factorized, fused,
+    Volcano) plus plan-cache-off / tracing-on configurations over the same
+    snapshot; any bag inequality is shrunk to a minimal repro and — when
+    ``--corpus`` is given — archived as a self-contained JSON entry that
+    ``pytest -m corpus`` replays forever.
+    """
+    from .testkit import FuzzConfig, PROFILES, run_fuzz
+
+    if args.profile not in PROFILES:
+        raise SystemExit(
+            f"unknown profile {args.profile!r}; choose from {sorted(PROFILES)}"
+        )
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        profile=args.profile,
+        stress_runs=args.stress_runs,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus,
+    )
+    on_event = print if args.verbose else None
+    report = run_fuzz(config, on_event=on_event)
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  iteration {failure.iteration}: {failure.query}")
+        for mismatch in failure.mismatches[:5]:
+            print(f"    {mismatch}")
+        if failure.path is not None:
+            print(f"    archived: {failure.path}")
+    for stress in report.stress:
+        if not stress.passed:
+            print(f"  stress: {stress.summary()}")
+            for violation in stress.violations[:5]:
+                print(f"    {violation}")
+    return 0 if report.passed else 1
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Audit read-query agreement across all engine variants."""
     dataset = generate(args.scale, seed=args.seed)
@@ -269,6 +310,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--format", choices=("prom", "json", "both"), default="prom")
     metrics.set_defaults(fn=cmd_metrics)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing + concurrency stress campaign"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iterations", type=int, default=200)
+    fuzz.add_argument(
+        "--profile", default="quick", help="graph size profile (quick/default/dense)"
+    )
+    fuzz.add_argument("--stress-runs", type=int, default=1)
+    fuzz.add_argument("--corpus", help="directory for minimized repro entries")
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="archive raw failures unminimized"
+    )
+    fuzz.add_argument("--verbose", action="store_true", help="per-graph progress")
+    fuzz.set_defaults(fn=cmd_fuzz)
 
     check = sub.add_parser("validate", help="audit engine agreement on reads")
     check.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))

@@ -56,10 +56,16 @@ from ..plan.logical import (
     resolve_labels,
 )
 from ..storage.graph import GraphReadView
-from ..types import DataType, NULL_INT
+from ..types import DataType, NULL_INT, is_null
 from .base import ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
 from .expand_util import expand_batch, resolve_expand_keys
-from .flat import dispatch_flat, flat_aggregate, gather_with_nulls, project_block
+from .flat import (
+    _non_null_mask,
+    dispatch_flat,
+    flat_aggregate,
+    gather_with_nulls,
+    project_block,
+)
 from .procedures import get_procedure
 
 
@@ -506,45 +512,67 @@ def aggregate_on_node(
 
     for agg in aggs:
         dtype = _weighted_agg_dtype(agg, node)
-        if agg.fn == "count":
+        if agg.fn == "count" and agg.arg is None:
             values = np.bincount(group_idx, weights=valid_weights, minlength=num_groups)
             out.add_array(agg.out, dtype, values.astype(np.int64))
             continue
         assert agg.arg is not None
         arg = node.block.column(agg.arg).values()[valid]
-        if agg.fn == "sum":
+        # NULL entries carry zero weight, matching the flat executor's
+        # per-tuple mask (count/sum/min/max/avg all skip NULLs).
+        non_null = _non_null_mask(arg)
+        weights = valid_weights * non_null
+        if agg.fn == "count":
+            counts = np.bincount(group_idx, weights=weights, minlength=num_groups)
+            out.add_array(agg.out, dtype, counts.astype(np.int64))
+        elif agg.fn == "sum":
             sums = np.bincount(
-                group_idx, weights=arg.astype(np.float64) * valid_weights,
+                group_idx,
+                weights=np.where(non_null, arg.astype(np.float64), 0.0) * weights,
                 minlength=num_groups,
             )
             out.add_array(agg.out, dtype, sums.astype(dtype.numpy_dtype))
         elif agg.fn == "avg":
             sums = np.bincount(
-                group_idx, weights=arg.astype(np.float64) * valid_weights,
+                group_idx,
+                weights=np.where(non_null, arg.astype(np.float64), 0.0) * weights,
                 minlength=num_groups,
             )
-            counts = np.bincount(group_idx, weights=valid_weights, minlength=num_groups)
-            out.add_array(agg.out, dtype, sums / np.maximum(counts, 1))
+            counts = np.bincount(group_idx, weights=weights, minlength=num_groups)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+            out.add_array(agg.out, dtype, means)
         elif agg.fn in ("min", "max"):
             if arg.dtype == object:
                 extremes: list[Any] = [None] * num_groups
                 better = (lambda a, b: a < b) if agg.fn == "min" else (lambda a, b: a > b)
-                for g, v in zip(group_idx.tolist(), arg.tolist()):
-                    if extremes[g] is None or better(v, extremes[g]):
+                for g, v, ok in zip(group_idx.tolist(), arg.tolist(), non_null.tolist()):
+                    if ok and (extremes[g] is None or better(v, extremes[g])):
                         extremes[g] = v
                 out.add_array(agg.out, dtype, np.asarray(extremes, dtype=object))
             else:
-                fill = np.iinfo(np.int64).max if agg.fn == "min" else np.iinfo(np.int64).min
+                fill = (
+                    np.finfo(arg.dtype).max if arg.dtype.kind == "f"
+                    else np.iinfo(np.int64).max
+                )
+                if agg.fn == "max":
+                    fill = -fill if arg.dtype.kind == "f" else np.iinfo(np.int64).min
                 extremes = np.full(num_groups, fill, dtype=arg.dtype)
                 ufunc = np.minimum if agg.fn == "min" else np.maximum
-                ufunc.at(extremes, group_idx, arg)
-                out.add_array(agg.out, dtype, extremes)
+                ufunc.at(extremes, group_idx[non_null], arg[non_null])
+                seen = np.bincount(
+                    group_idx, weights=non_null.astype(np.float64), minlength=num_groups
+                )
+                null = dtype.null_value()
+                extremes = np.where(seen > 0, extremes, null)
+                out.add_array(agg.out, dtype, extremes.astype(dtype.numpy_dtype))
         elif agg.fn == "count_distinct":
-            seen: list[set[Any]] = [set() for _ in range(num_groups)]
-            for g, v in zip(group_idx.tolist(), arg.tolist()):
-                seen[g].add(v)
+            seen_sets: list[set[Any]] = [set() for _ in range(num_groups)]
+            for g, v, ok in zip(group_idx.tolist(), arg.tolist(), non_null.tolist()):
+                if ok:
+                    seen_sets[g].add(v)
             out.add_array(
-                agg.out, dtype, np.asarray([len(s) for s in seen], dtype=np.int64)
+                agg.out, dtype, np.asarray([len(s) for s in seen_sets], dtype=np.int64)
             )
         else:
             raise ExecutionError(f"unknown aggregate {agg.fn!r}")
@@ -770,7 +798,7 @@ def _streaming_aggregate(
             if agg.fn == "avg"
             else _attr_dtype(tree, agg.arg)  # type: ignore[arg-type]
         )
-        values = [_finish_accumulator(accumulators[k][i], agg) for k in keys]
+        values = [_finish_accumulator(accumulators[k][i], agg, dtype) for k in keys]
         out.add_array(agg.out, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
     return out
 
@@ -800,6 +828,8 @@ def _update_accumulator(
         slot[0] += 1
         return
     value = tup[positions[agg.arg]]  # type: ignore[index]
+    if is_null(value):
+        return  # NULLs never feed an aggregate (same mask as the flat path)
     if agg.fn == "count":
         slot[0] += 1
     elif agg.fn == "count_distinct":
@@ -815,13 +845,15 @@ def _update_accumulator(
         slot[1] += 1
 
 
-def _finish_accumulator(slot: Any, agg: AggSpec) -> Any:
+def _finish_accumulator(slot: Any, agg: AggSpec, dtype: DataType) -> Any:
     if agg.fn == "count_distinct":
         return len(slot)
     if agg.fn in ("count", "sum"):
         return slot[0]
     if agg.fn in ("min", "max"):
-        return slot[0] if slot[0] is not None else NULL_INT
+        # An empty (or all-NULL) group yields the column dtype's NULL, the
+        # same value the flat aggregation produces.
+        return slot[0] if slot[0] is not None else dtype.null_value()
     if agg.fn == "avg":
         return float(slot[0]) / slot[1] if slot[1] else float("nan")
     raise ExecutionError(f"unknown aggregate {agg.fn!r}")

@@ -5,7 +5,13 @@ from .driver import BenchmarkDriver, DriverReport
 from .params import INTERLEAVES, ParameterGenerator
 from .queries import REGISTRY, queries_of
 from .schema import build_snb_schema
-from .validation import ValidationReport, validate
+from .validation import (
+    ValidationReport,
+    bags_equal,
+    normalize_rows,
+    rows_bag,
+    validate,
+)
 
 __all__ = [
     "BenchmarkDriver",
@@ -17,8 +23,11 @@ __all__ = [
     "ScaleFactor",
     "SnbDataset",
     "ValidationReport",
+    "bags_equal",
     "build_snb_schema",
     "generate",
+    "normalize_rows",
+    "rows_bag",
     "validate",
     "queries_of",
 ]

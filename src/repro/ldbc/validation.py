@@ -10,8 +10,12 @@ a structured report; the benchmark suite and the CLI expose it.
 
 from __future__ import annotations
 
+import math
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Iterable, Sequence
+
+import numpy as np
 
 from ..baselines.volcano import VolcanoEngine
 from ..engine.service import open_all_variants
@@ -19,6 +23,44 @@ from ..exec.base import ExecStats
 from .datagen import SnbDataset
 from .params import ParameterGenerator
 from .queries import REGISTRY, queries_of
+
+
+def normalize_value(value: Any) -> Any:
+    """One comparison-safe scalar: NumPy scalars unboxed, NaN → None.
+
+    IEEE NaN compares unequal to itself, so raw row comparison reports a
+    false mismatch whenever both engines correctly return the same NULL
+    float.  There is exactly one NULL class at the result boundary — the
+    flat engines surface it as NaN for float columns while the row engine
+    surfaces ``None`` (optional fills, empty ``avg``) — so normalization
+    collapses NaN to ``None``, which is self-equal and hashable (rows can
+    live in bags).
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def normalize_row(row: Iterable[Any]) -> tuple:
+    """A row with every value normalized (see :func:`normalize_value`)."""
+    return tuple(normalize_value(v) for v in row)
+
+
+def normalize_rows(rows: Iterable[Iterable[Any]]) -> list[tuple]:
+    """All rows normalized, order preserved."""
+    return [normalize_row(row) for row in rows]
+
+
+def rows_bag(rows: Iterable[Iterable[Any]]) -> Counter:
+    """Multiset of normalized rows — the oracle's order-insensitive view."""
+    return Counter(normalize_rows(rows))
+
+
+def bags_equal(left: Iterable[Iterable[Any]], right: Iterable[Iterable[Any]]) -> bool:
+    """Bag (multiset) equality of two row lists under normalization."""
+    return rows_bag(left) == rows_bag(right)
 
 
 @dataclass
@@ -87,11 +129,14 @@ def validate(
                     report.errors.append((name, variant, repr(exc)))
                     results[variant] = None
             baseline = results.get("GES")
+            normalized_baseline = (
+                normalize_rows(baseline) if baseline is not None else None
+            )
             for variant, rows in results.items():
                 report.checks += 1
-                if rows is None or baseline is None:
+                if rows is None or normalized_baseline is None:
                     continue
-                if rows != baseline:
+                if normalize_rows(rows) != normalized_baseline:
                     report.mismatches.append(
                         Mismatch(name, variant, params, len(baseline), len(rows))
                     )

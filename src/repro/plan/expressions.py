@@ -190,6 +190,21 @@ _CMP_OPS: dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
+def _null_mask(values: Any) -> Any:
+    """Elementwise NULL mask for an operand (array or scalar)."""
+    if isinstance(values, np.ndarray) and values.ndim:
+        if values.dtype == object:
+            return np.fromiter(
+                (v is None for v in values), dtype=bool, count=len(values)
+            )
+        if values.dtype.kind == "f":
+            return np.isnan(values)
+        if values.dtype.kind == "i":
+            return values == NULL_INT
+        return np.zeros(len(values), dtype=bool)
+    return is_null(values)
+
+
 class Cmp(Expr):
     """Binary comparison producing booleans."""
 
@@ -206,8 +221,14 @@ class Cmp(Expr):
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
         left = self.left.eval_block(resolver, params)
         right = self.right.eval_block(resolver, params)
-        result = _CMP_OPS[self.op](left, right)
-        return np.asarray(result, dtype=bool)
+        result = np.asarray(_CMP_OPS[self.op](left, right), dtype=bool)
+        if self.op not in ("==", "!="):
+            # Ordered comparisons against NULL are false (the row path already
+            # guards via is_null; the int64 sentinel would otherwise compare
+            # numerically here and diverge from it).
+            null = _null_mask(left) | _null_mask(right)
+            result = result & ~null
+        return result
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
         left = self.left.eval_row(row, params)

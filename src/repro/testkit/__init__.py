@@ -1,0 +1,71 @@
+"""repro.testkit — differential fuzzing & concurrency-stress harness.
+
+Machine-generated evidence that the four executors (flat, factorized,
+fused, Volcano) are semantically interchangeable over one storage
+substrate — the paper's central claim — plus a deterministic stressor for
+the MVCC layer and a shrinker that turns any disagreement into a
+self-contained, replayable corpus entry under ``tests/corpus/``.
+
+Layout:
+
+* :mod:`~repro.testkit.graphgen` — seeded, schema-aware random graphs;
+* :mod:`~repro.testkit.querygen` — random logical plans, Cypher text, and
+  IU-style update batches over any schema;
+* :mod:`~repro.testkit.plans` — logical-plan / expression JSON serde (what
+  makes corpus entries self-contained);
+* :mod:`~repro.testkit.oracle` — the differential oracle (bag equality,
+  plan-cache on/off agreement, tracing on/off agreement);
+* :mod:`~repro.testkit.stress` — deterministic interleaving scheduler over
+  the transaction layer with snapshot-isolation invariant checks;
+* :mod:`~repro.testkit.shrink` — ddmin-style failure minimizer;
+* :mod:`~repro.testkit.corpus` — corpus entry save/load/replay;
+* :mod:`~repro.testkit.runner` — the ``repro fuzz`` loop.
+"""
+
+from .corpus import CorpusEntry, load_entries, replay_entry, save_entry
+from .graphgen import (
+    PROFILES,
+    GraphProfile,
+    GraphSpec,
+    fuzz_schema,
+    generate_store,
+    random_graph_spec,
+    spec_digest,
+    store_from_spec,
+)
+from .oracle import DifferentialOracle, OracleMismatch
+from .plans import deserialize_plan, serialize_plan
+from .querygen import GeneratedQuery, QueryGenerator, UpdateBatch, UpdateGenerator
+from .runner import FuzzConfig, FuzzReport, run_fuzz
+from .shrink import shrink_failure
+from .stress import StressConfig, StressReport, run_stress
+
+__all__ = [
+    "CorpusEntry",
+    "DifferentialOracle",
+    "FuzzConfig",
+    "FuzzReport",
+    "GeneratedQuery",
+    "GraphProfile",
+    "GraphSpec",
+    "OracleMismatch",
+    "PROFILES",
+    "QueryGenerator",
+    "StressConfig",
+    "StressReport",
+    "UpdateBatch",
+    "UpdateGenerator",
+    "deserialize_plan",
+    "fuzz_schema",
+    "generate_store",
+    "load_entries",
+    "random_graph_spec",
+    "replay_entry",
+    "run_fuzz",
+    "run_stress",
+    "save_entry",
+    "serialize_plan",
+    "shrink_failure",
+    "spec_digest",
+    "store_from_spec",
+]

@@ -1,0 +1,131 @@
+"""The regression corpus: minimized fuzz failures as self-contained repros.
+
+Every mismatch the fuzzer finds is shrunk and serialized into one JSON
+file under ``tests/corpus/``: the full graph spec, any update batches,
+the query (plan payload and/or Cypher text), the parameters, and the
+mismatch signature observed at capture time.  Replaying an entry needs no
+generator and no seed — just this module — so tier-1 re-checks every
+historical failure forever (``pytest -m corpus``).
+
+Entry filenames are content-addressed (``<prefix>-<digest12>.json``), so
+re-finding a known bug is idempotent and two fuzz runs can merge their
+corpora with plain file copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .graphgen import GraphSpec
+from .oracle import DifferentialOracle, OracleMismatch
+from .querygen import GeneratedQuery, UpdateBatch
+from .shrink import replay
+
+
+@dataclass
+class CorpusEntry:
+    """One self-contained repro: graph + updates + query + expectation."""
+
+    name: str
+    query: GeneratedQuery
+    spec: GraphSpec
+    updates: list[UpdateBatch] = field(default_factory=list)
+    signature: list[list[str]] = field(default_factory=list)  # [[kind, variant], ...]
+    note: str = ""
+    seed: int | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "note": self.note,
+            "seed": self.seed,
+            "signature": self.signature,
+            "query": self.query.to_json(),
+            "updates": [batch.to_json() for batch in self.updates],
+            "spec": self.spec.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CorpusEntry":
+        return cls(
+            name=data["name"],
+            query=GeneratedQuery.from_json(data["query"]),
+            spec=GraphSpec.from_json(data["spec"]),
+            updates=[UpdateBatch.from_json(b) for b in data.get("updates", [])],
+            signature=[list(s) for s in data.get("signature", [])],
+            note=data.get("note", ""),
+            seed=data.get("seed"),
+        )
+
+
+def entry_digest(query: GeneratedQuery, spec: GraphSpec, updates: list[UpdateBatch]) -> str:
+    """Content digest identifying one repro (for idempotent filenames)."""
+    payload = json.dumps(
+        {
+            "query": query.to_json(),
+            "updates": [b.to_json() for b in updates],
+            "spec": spec.to_json(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def make_entry(
+    query: GeneratedQuery,
+    spec: GraphSpec,
+    mismatches: list[OracleMismatch],
+    updates: list[UpdateBatch] | None = None,
+    note: str = "",
+    seed: int | None = None,
+    prefix: str = "fuzz",
+) -> CorpusEntry:
+    """Package a (shrunk) failure as a corpus entry with a stable name."""
+    updates = list(updates or [])
+    digest = entry_digest(query, spec, updates)
+    return CorpusEntry(
+        name=f"{prefix}-{digest[:12]}",
+        query=query,
+        spec=spec,
+        updates=updates,
+        signature=sorted([kind, variant] for kind, variant in {m.signature for m in mismatches}),
+        note=note or "; ".join(str(m) for m in mismatches[:4]),
+        seed=seed,
+    )
+
+
+def save_entry(entry: CorpusEntry, directory: str | Path) -> Path:
+    """Write one entry as pretty, key-sorted JSON; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_json(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entries(directory: str | Path) -> list[CorpusEntry]:
+    """Every ``*.json`` entry under *directory*, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entries.append(CorpusEntry.from_json(json.loads(path.read_text())))
+    return entries
+
+
+def replay_entry(
+    entry: CorpusEntry,
+    oracle_factory: Any | None = None,
+) -> list[OracleMismatch]:
+    """Rebuild the entry's store, apply its updates, run the oracle.
+
+    An empty list means the bug the entry captured is fixed (and stays
+    fixed); any mismatch is a regression.
+    """
+    return replay(entry.query, entry.spec, entry.updates, oracle_factory)

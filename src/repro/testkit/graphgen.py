@@ -1,0 +1,351 @@
+"""Seeded, schema-aware random graph generation.
+
+The generator is driven entirely by stdlib :class:`random.Random`, whose
+output is specified to be identical across platforms and process restarts
+for one seed — the seed-determinism regression tests rely on this.  It
+works against *any* :class:`~repro.storage.catalog.GraphSchema`: property
+values are drawn by declared dtype (including NULLs for every type and NaN
+for floats, the comparator's adversarial cases), and edges are drawn per
+edge definition with skewed degrees so expansions fan out unevenly.
+
+Graphs exist in two representations:
+
+* a :class:`GraphSpec` — plain lists/dicts, JSON-serializable, the form the
+  shrinker mutates and corpus entries embed;
+* a :class:`~repro.storage.graph.GraphStore` — built from a spec via
+  :func:`store_from_spec`, what engines execute against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..storage.catalog import EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef
+from ..storage.graph import GraphStore
+from ..types import DataType
+
+#: Per-label primary-key base so ids never collide across labels.
+PK_STRIDE = 1_000_000
+
+_STRING_POOL = ["a", "b", "ab", "x", "yy", "zzz", "Ada", "Bob", "Cy", ""]
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Size/shape knobs for one generation profile."""
+
+    name: str
+    min_rows: int = 0  # per vertex label (0 allows empty unions)
+    max_rows: int = 14
+    max_degree: int = 4  # per-source draw ceiling per edge definition
+    null_rate: float = 0.15  # P(property is NULL)
+    nan_rate: float = 0.2  # P(float property is NaN), applied after nulls
+    duplicate_edge_rate: float = 0.1  # P(an edge is emitted twice)
+
+
+PROFILES: dict[str, GraphProfile] = {
+    "quick": GraphProfile("quick", max_rows=8, max_degree=3),
+    "default": GraphProfile("default"),
+    "dense": GraphProfile("dense", min_rows=4, max_rows=24, max_degree=7),
+}
+
+
+@dataclass
+class GraphSpec:
+    """A concrete graph as plain data: schema + columns + edge lists.
+
+    ``vertices`` maps label -> column name -> list of values (aligned);
+    ``edges`` is a list of dicts with ``label``/``src_label``/``dst_label``,
+    parallel ``src``/``dst`` row-index lists, and optional ``props``.
+    """
+
+    schema: dict[str, Any]
+    vertices: dict[str, dict[str, list]]
+    edges: list[dict[str, Any]]
+    seed: int | None = None
+    profile: str = "default"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "seed": self.seed,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "GraphSpec":
+        return cls(
+            schema=data["schema"],
+            vertices=data["vertices"],
+            edges=data["edges"],
+            seed=data.get("seed"),
+            profile=data.get("profile", "default"),
+        )
+
+    def vertex_count(self, label: str) -> int:
+        columns = self.vertices.get(label) or {}
+        if not columns:
+            return 0
+        return len(next(iter(columns.values())))
+
+    def total_vertices(self) -> int:
+        return sum(self.vertex_count(label) for label in self.vertices)
+
+    def total_edges(self) -> int:
+        return sum(len(e["src"]) for e in self.edges)
+
+
+# -- schema (de)serialization --------------------------------------------------
+
+
+def schema_to_json(schema: GraphSchema) -> dict[str, Any]:
+    """Catalog contents as plain data (corpus entries embed this)."""
+    vertices = []
+    for name in schema.vertex_labels:
+        vdef = schema.vertex_label(name)
+        vertices.append(
+            {
+                "name": vdef.name,
+                "properties": [[p.name, p.dtype.value] for p in vdef.properties],
+                "primary_key": vdef.primary_key,
+            }
+        )
+    edges = [
+        {
+            "name": edef.name,
+            "src": edef.src_label,
+            "dst": edef.dst_label,
+            "properties": [[p.name, p.dtype.value] for p in edef.properties],
+        }
+        for edef in schema.iter_edge_definitions()
+    ]
+    return {"vertices": vertices, "edges": edges}
+
+
+def schema_from_json(data: dict[str, Any]) -> GraphSchema:
+    """Rebuild a :class:`GraphSchema` from its :func:`schema_to_json` payload."""
+    schema = GraphSchema()
+    for vdef in data["vertices"]:
+        schema.add_vertex_label(
+            VertexLabelDef(
+                vdef["name"],
+                [PropertyDef(n, DataType(d)) for n, d in vdef["properties"]],
+                primary_key=vdef["primary_key"],
+            )
+        )
+    for edef in data["edges"]:
+        schema.add_edge_label(
+            EdgeLabelDef(
+                edef["name"],
+                edef["src"],
+                edef["dst"],
+                [PropertyDef(n, DataType(d)) for n, d in edef["properties"]],
+            )
+        )
+    return schema
+
+
+# -- the default fuzz schema ----------------------------------------------------
+
+
+def fuzz_schema() -> GraphSchema:
+    """The standing fuzz schema: small, but union- and NULL-bearing.
+
+    ``LIKES``, ``HAS_CREATOR``, and ``HAS_TAG`` each have two definitions
+    sharing one name (Post and Comment endpoints), so Expands over them
+    union multiple adjacency keys — the paper's polymorphic-edge case.
+    ``KNOWS`` is a Person self-edge, enabling multi-hop patterns.
+    """
+    schema = GraphSchema()
+    schema.add_vertex_label(
+        VertexLabelDef(
+            "Person",
+            [
+                PropertyDef("id", DataType.INT64),
+                PropertyDef("name", DataType.STRING),
+                PropertyDef("age", DataType.INT64),
+                PropertyDef("score", DataType.FLOAT64),
+                PropertyDef("active", DataType.BOOL),
+            ],
+            primary_key="id",
+        )
+    )
+    for message_label in ("Post", "Comment"):
+        schema.add_vertex_label(
+            VertexLabelDef(
+                message_label,
+                [
+                    PropertyDef("id", DataType.INT64),
+                    PropertyDef("length", DataType.INT64),
+                    PropertyDef("score", DataType.FLOAT64),
+                ],
+                primary_key="id",
+            )
+        )
+    schema.add_vertex_label(
+        VertexLabelDef(
+            "Tag",
+            [PropertyDef("id", DataType.INT64), PropertyDef("name", DataType.STRING)],
+            primary_key="id",
+        )
+    )
+    schema.add_edge_label(
+        EdgeLabelDef("KNOWS", "Person", "Person", [PropertyDef("since", DataType.INT64)])
+    )
+    for message_label in ("Post", "Comment"):
+        schema.add_edge_label(EdgeLabelDef("LIKES", "Person", message_label))
+        schema.add_edge_label(EdgeLabelDef("HAS_CREATOR", message_label, "Person"))
+        schema.add_edge_label(EdgeLabelDef("HAS_TAG", message_label, "Tag"))
+    schema.add_edge_label(EdgeLabelDef("REPLY_OF", "Comment", "Post"))
+    return schema
+
+
+# -- value drawing ------------------------------------------------------------
+
+
+def _draw_value(rng: random.Random, dtype: DataType, profile: GraphProfile) -> Any:
+    if rng.random() < profile.null_rate:
+        return None
+    if dtype is DataType.FLOAT64 and rng.random() < profile.nan_rate:
+        return float("nan")
+    if dtype.is_integer_backed:
+        return rng.randint(-20, 200)
+    if dtype is DataType.FLOAT64:
+        return round(rng.uniform(-10.0, 10.0), 3)
+    if dtype is DataType.BOOL:
+        return rng.random() < 0.5
+    return rng.choice(_STRING_POOL)
+
+
+def random_graph_spec(
+    rng: random.Random,
+    schema: GraphSchema | None = None,
+    profile: GraphProfile | str = "default",
+    seed: int | None = None,
+) -> GraphSpec:
+    """Draw a random :class:`GraphSpec` over *schema* (default: fuzz schema)."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    if schema is None:
+        schema = fuzz_schema()
+
+    vertices: dict[str, dict[str, list]] = {}
+    counts: dict[str, int] = {}
+    for stride, label in enumerate(schema.vertex_labels, start=1):
+        vdef = schema.vertex_label(label)
+        n = rng.randint(profile.min_rows, profile.max_rows)
+        counts[label] = n
+        columns: dict[str, list] = {}
+        for prop in vdef.properties:
+            if prop.name == vdef.primary_key:
+                # Dense, label-disjoint primary keys; a known base so the
+                # query generator can also probe *missing* keys.
+                columns[prop.name] = [stride * PK_STRIDE + i for i in range(n)]
+            else:
+                columns[prop.name] = [
+                    _draw_value(rng, prop.dtype, profile) for _ in range(n)
+                ]
+        vertices[label] = columns
+
+    edges: list[dict[str, Any]] = []
+    for edef in schema.iter_edge_definitions():
+        n_src, n_dst = counts[edef.src_label], counts[edef.dst_label]
+        src_rows: list[int] = []
+        dst_rows: list[int] = []
+        props: dict[str, list] = {p.name: [] for p in edef.properties}
+        if n_src and n_dst:
+            for src in range(n_src):
+                degree = rng.randint(0, profile.max_degree)
+                for _ in range(degree):
+                    dst = rng.randrange(n_dst)
+                    repeats = 2 if rng.random() < profile.duplicate_edge_rate else 1
+                    for _ in range(repeats):
+                        src_rows.append(src)
+                        dst_rows.append(dst)
+                        for prop in edef.properties:
+                            props[prop.name].append(
+                                _draw_value(rng, prop.dtype, profile)
+                            )
+        edges.append(
+            {
+                "label": edef.name,
+                "src_label": edef.src_label,
+                "dst_label": edef.dst_label,
+                "src": src_rows,
+                "dst": dst_rows,
+                "props": props,
+            }
+        )
+    return GraphSpec(
+        schema=schema_to_json(schema),
+        vertices=vertices,
+        edges=edges,
+        seed=seed,
+        profile=profile.name,
+    )
+
+
+def store_from_spec(spec: GraphSpec) -> GraphStore:
+    """Materialize a :class:`GraphStore` from a spec (bulk-load path)."""
+    schema = schema_from_json(spec.schema)
+    store = GraphStore(schema)
+    for label, columns in spec.vertices.items():
+        vdef = schema.vertex_label(label)
+        arrays = {}
+        for prop in vdef.properties:
+            values = [
+                prop.dtype.null_value() if v is None else v
+                for v in columns[prop.name]
+            ]
+            arrays[prop.name] = np.asarray(values, dtype=prop.dtype.numpy_dtype)
+        store.bulk_load_vertices(label, arrays)
+    for edge in spec.edges:
+        edef = schema.edge_definition(
+            edge["label"], edge["src_label"], edge["dst_label"]
+        )
+        props = None
+        if edef.properties and edge["src"]:
+            props = {}
+            for prop in edef.properties:
+                values = [
+                    prop.dtype.null_value() if v is None else v
+                    for v in edge["props"][prop.name]
+                ]
+                props[prop.name] = np.asarray(values, dtype=prop.dtype.numpy_dtype)
+        store.bulk_load_edges(
+            edge["label"],
+            edge["src_label"],
+            edge["dst_label"],
+            np.asarray(edge["src"], dtype=np.int64),
+            np.asarray(edge["dst"], dtype=np.int64),
+            props,
+        )
+    return store
+
+
+def generate_store(
+    seed: int,
+    schema: GraphSchema | None = None,
+    profile: GraphProfile | str = "default",
+) -> tuple[GraphStore, GraphSpec]:
+    """One-call helper: seeded spec + store."""
+    spec = random_graph_spec(random.Random(seed), schema, profile, seed=seed)
+    return store_from_spec(spec), spec
+
+
+def spec_digest(spec: GraphSpec) -> str:
+    """Stable content digest of a spec (the determinism regression check).
+
+    Canonical JSON with sorted keys; NaN serializes as the literal ``NaN``
+    token, which is fine for hashing purposes.
+    """
+    payload = json.dumps(spec.to_json(), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,47 @@
+"""Replay every minimized fuzz repro in ``tests/corpus/`` (tier-1, forever).
+
+Each entry is a self-contained (graph spec, update batches, query) triple
+that once made two engines disagree.  The bug it captured is fixed, so
+replaying the entry on all engines must come back clean; any mismatch is
+a regression of a specific, already-understood failure.  Entries are
+content-addressed, so the corpus only grows — ``repro fuzz --corpus
+tests/corpus`` archives new finds idempotently.
+
+Run just these with ``pytest -m corpus``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testkit import load_entries, replay_entry
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+ENTRIES = load_entries(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    """The corpus ships with the fused-aggregate NULL repros at minimum."""
+    assert ENTRIES, f"no corpus entries found under {CORPUS_DIR}"
+
+
+@pytest.mark.corpus
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_replays_clean(entry):
+    mismatches = replay_entry(entry)
+    assert mismatches == [], (
+        f"{entry.name} regressed (captured: {entry.note!r}): "
+        + "; ".join(str(m) for m in mismatches)
+    )
+
+
+@pytest.mark.corpus
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_is_well_formed(entry):
+    assert entry.name.startswith("fuzz-")
+    assert entry.signature, "entries must record the failure they captured"
+    assert entry.query.plan is not None or entry.query.cypher is not None
+    assert entry.spec.total_vertices() >= 0

@@ -68,8 +68,20 @@ class TestBasics:
 
 class TestComparison:
     def test_block_lt(self):
+        # The last row's left operand is NULL: ordered comparisons against
+        # NULL are false on both evaluation paths.
         out = (Col("a") < Col("b")).eval_block(RESOLVER, {})
-        assert out.tolist() == [True, False, False, True]
+        assert out.tolist() == [True, False, False, False]
+
+    def test_block_null_comparison_matches_row(self):
+        for op in ("<", "<=", ">", ">="):
+            expr = Cmp(op, Col("a"), Col("b"))
+            block = expr.eval_block(RESOLVER, {}).tolist()
+            rows = [
+                expr.eval_row({"a": a, "b": b}, {})
+                for a, b in zip([1, 2, 3, None], [3, 2, 1, 5])
+            ]
+            assert block == rows
 
     def test_row_lt(self):
         assert (Col("a") < Lit(2)).eval_row({"a": 1}, {})

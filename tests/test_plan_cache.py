@@ -1,5 +1,7 @@
 """Tests for the parameterized plan cache and compile instrumentation."""
 
+import random
+
 import numpy as np
 import pytest
 
@@ -178,6 +180,93 @@ class TestServicePlanCache:
         assert engine.plan_cache.stats.invalidations == 1
         assert not stats.cache_hit  # recompiled against the new schema
         assert engine.describe()["plan_cache"]["size"] == 1
+
+
+class TestFuzzedDdlInvalidation:
+    """Seeded random DDL streams against the cache's schema fingerprint.
+
+    Every schema change — however irrelevant to the cached queries — must
+    invalidate exactly once, the very next execution must recompile, and
+    the answer must be identical before and after.  Runs both the
+    text-keyed and the fingerprint-keyed (plan-object) cache paths.
+    """
+
+    def _random_ddl(self, schema, rng: random.Random, i: int) -> None:
+        from repro import DataType, EdgeLabelDef, PropertyDef, VertexLabelDef
+
+        dtypes = (DataType.INT64, DataType.FLOAT64, DataType.STRING, DataType.BOOL)
+        if rng.random() < 0.5:
+            props = [PropertyDef("id", DataType.INT64)] + [
+                PropertyDef(f"p{j}", rng.choice(dtypes))
+                for j in range(rng.randint(0, 3))
+            ]
+            schema.add_vertex_label(
+                VertexLabelDef(f"Fuzz{i}", props, primary_key="id")
+            )
+        else:
+            labels = list(schema.vertex_labels)
+            schema.add_edge_label(
+                EdgeLabelDef(
+                    f"FUZZ_REL_{i}", rng.choice(labels), rng.choice(labels)
+                )
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_ddl_invalidates_and_answers_survive(self, micro_store, seed):
+        engine = GES(micro_store)
+        rng = random.Random(f"ddl:{seed}")
+        baseline = engine.execute(CYPHER).rows
+        ddl_count = 0
+        for i in range(12):
+            if rng.random() < 0.6:
+                self._random_ddl(micro_store.schema, rng, f"{seed}_{i}")
+                ddl_count += 1
+                stats = ExecStats()
+                result = engine.execute(CYPHER, stats=stats)
+                # The very next execution recompiles against the new schema...
+                assert not stats.cache_hit, f"step {i}: stale plan served after DDL"
+                assert result.rows == baseline
+            stats = ExecStats()
+            result = engine.execute(CYPHER, stats=stats)
+            # ...and the cache immediately warms back up.
+            assert stats.cache_hit, f"step {i}: cache did not rebuild"
+            assert result.rows == baseline
+        assert engine.plan_cache.stats.invalidations == ddl_count
+
+    def test_plan_object_cache_invalidated_by_ddl(self, micro_store):
+        from repro import DataType, PropertyDef, VertexLabelDef
+
+        engine = GES(micro_store)
+        engine.execute(template_plan(), {"personId": 1, "minAge": 0})
+        micro_store.schema.add_vertex_label(
+            VertexLabelDef(
+                "FuzzPlanObj", [PropertyDef("id", DataType.INT64)], primary_key="id"
+            )
+        )
+        stats = ExecStats()
+        engine.execute(template_plan(), {"personId": 1, "minAge": 0}, stats=stats)
+        assert not stats.cache_hit
+        assert engine.plan_cache.stats.invalidations == 1
+
+    def test_interleaved_texts_all_flushed(self, micro_store):
+        from repro import DataType, PropertyDef, VertexLabelDef
+
+        engine = GES(micro_store)
+        other = "MATCH (p:Person) RETURN count(*) AS n"
+        engine.execute(CYPHER)
+        engine.execute(other)
+        assert len(engine.plan_cache) == 2
+        micro_store.schema.add_vertex_label(
+            VertexLabelDef(
+                "FuzzFlush", [PropertyDef("id", DataType.INT64)], primary_key="id"
+            )
+        )
+        stats_a, stats_b = ExecStats(), ExecStats()
+        engine.execute(CYPHER, stats=stats_a)
+        engine.execute(other, stats=stats_b)
+        # One invalidation flushes *every* entry, not just the executed key.
+        assert not stats_a.cache_hit and not stats_b.cache_hit
+        assert engine.plan_cache.stats.invalidations == 1
 
 
 class TestExecStatsMerge:

@@ -1,9 +1,60 @@
 """Tests for the cross-engine validation audit."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.ldbc import generate, validate
-from repro.ldbc.validation import Mismatch, ValidationReport
+from repro.ldbc.validation import (
+    Mismatch,
+    ValidationReport,
+    bags_equal,
+    normalize_row,
+    normalize_value,
+    rows_bag,
+)
+
+
+class TestNormalization:
+    """NaN is the flat engines' NULL float; None is the row engine's.
+
+    Regression for the comparator treating them as distinct values (which
+    reported false mismatches on every nullable-float column) — both must
+    collapse into the single NULL class.
+    """
+
+    def test_nan_normalizes_to_none(self):
+        assert normalize_value(float("nan")) is None
+        assert normalize_value(np.float64("nan")) is None
+
+    def test_numpy_scalars_unboxed(self):
+        assert normalize_value(np.int64(7)) == 7
+        assert isinstance(normalize_value(np.int64(7)), int)
+        assert normalize_value(np.float64(1.5)) == 1.5
+        assert normalize_value(np.bool_(True)) is True
+
+    def test_plain_values_pass_through(self):
+        for value in (0, -3, 2.5, "x", None, True, math.inf):
+            assert normalize_value(value) == value
+
+    def test_nan_rows_are_self_equal_and_hashable(self):
+        row = normalize_row((1, float("nan"), "a"))
+        assert row == (1, None, "a")
+        assert hash(row) == hash((1, None, "a"))
+
+    def test_bags_equal_across_null_representations(self):
+        flat = [(1, float("nan")), (2, 3.0)]
+        volcano = [(2, 3.0), (1, None)]
+        assert bags_equal(flat, volcano)
+        assert rows_bag(flat) == rows_bag(volcano)
+
+    def test_bags_distinguish_real_floats(self):
+        assert not bags_equal([(1.0,)], [(2.0,)])
+        assert not bags_equal([(float("nan"),)], [(2.0,)])
+
+    def test_bag_multiplicity_matters(self):
+        assert not bags_equal([(1,), (1,)], [(1,)])
 
 
 class TestValidationReport:
