@@ -96,7 +96,18 @@ def test_ablation_fused_aggregation(benchmark):
         f"{'fused':10}{out['fused'][0]:>10.2f}{out['fused'][1]:>12}",
         f"peak-intermediate reduction from fusion: {reduction * 100:.1f}%",
     ]
-    emit(lines, archive="ablation_fused_aggregation.txt")
+    emit(
+        lines,
+        archive="ablation_fused_aggregation.txt",
+        data={
+            "scale": "SF300",
+            "rounds": ROUNDS,
+            "top_k": TOP,
+            "unfused": {"time_ms": out["unfused"][0], "peak_bytes": out["unfused"][1]},
+            "fused": {"time_ms": out["fused"][0], "peak_bytes": out["fused"][1]},
+            "peak_reduction": reduction,
+        },
+    )
 
     assert out["fused"][1] < out["unfused"][1]
     assert out["fused"][0] < out["unfused"][0] * 1.1

@@ -48,7 +48,16 @@ def test_ablation_memory_pool(benchmark):
         f"{'pooled':10}{pooled_ms:>10.1f} ms   hit rate {hit_rate * 100:.1f}%",
         f"{'unpooled':10}{unpooled_ms:>10.1f} ms   hit rate 0.0%",
     ]
-    emit(lines, archive="ablation_memory_pool.txt")
+    emit(
+        lines,
+        archive="ablation_memory_pool.txt",
+        data={
+            "cycles": CYCLES,
+            "pooled_ms": pooled_ms,
+            "unpooled_ms": unpooled_ms,
+            "hit_rate": hit_rate,
+        },
+    )
 
     assert hit_rate > 0.5, "steady-state snapshot churn should mostly hit the pool"
     assert pooled_ms <= unpooled_ms * 1.5

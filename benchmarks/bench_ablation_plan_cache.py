@@ -95,7 +95,32 @@ def test_ablation_plan_cache(benchmark):
         f"{cache_on['hits']} hits / {cache_on['misses']} misses, "
         f"{cache_on['evictions']} evictions",
     ]
-    emit(lines, archive="ablation_plan_cache.txt")
+    emit(
+        lines,
+        archive="ablation_plan_cache.txt",
+        data={
+            "scale": SCALE,
+            "ops": OPS,
+            "repeats": REPEATS,
+            "cache_on": {
+                "mean_service_ms": mean_service_ms(on),
+                "compile_ms": on.compile_seconds * 1e3,
+                "compile_fraction": on.compile_fraction,
+                "hit_rate": on.plan_cache_hit_rate,
+            },
+            "cache_off": {
+                "mean_service_ms": mean_service_ms(off),
+                "compile_ms": off.compile_seconds * 1e3,
+                "compile_fraction": off.compile_fraction,
+            },
+            "cold_first_stream": {
+                "hit_rate": cold_on.plan_cache_hit_rate,
+                "compile_ms_cached": cold_on.compile_seconds * 1e3,
+                "compile_ms_uncached": cold_off.compile_seconds * 1e3,
+            },
+            "cache": cache_on,
+        },
+    )
 
     assert on.plan_cache_hit_rate >= 0.9, "steady-state stream must mostly hit"
     assert on.compile_seconds < off.compile_seconds, (

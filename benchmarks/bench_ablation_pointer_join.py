@@ -66,7 +66,17 @@ def test_ablation_pointer_join(benchmark):
         f"{'eager':10}{timings['eager']:>10.2f}{footprints['eager']:>12}",
         f"intermediate-size reduction from pointer join: {reduction * 100:.1f}%",
     ]
-    emit(lines, archive="ablation_pointer_join.txt")
+    emit(
+        lines,
+        archive="ablation_pointer_join.txt",
+        data={
+            "scale": "SF300",
+            "rounds": ROUNDS,
+            "pointer": {"time_ms": timings["pointer"], "tree_bytes": footprints["pointer"]},
+            "eager": {"time_ms": timings["eager"], "tree_bytes": footprints["eager"]},
+            "size_reduction": reduction,
+        },
+    )
 
     assert footprints["pointer"] < footprints["eager"]
     assert timings["pointer"] <= timings["eager"] * 1.2

@@ -54,6 +54,17 @@ def test_ablation_vectorization(benchmark):
         f"{'per-source loop':16}{timings['per-source loop']:>10.2f}",
         f"vectorization speedup: {speedup:.1f}x",
     ]
-    emit(lines, archive="ablation_vectorization.txt")
+    emit(
+        lines,
+        archive="ablation_vectorization.txt",
+        data={
+            "scale": "SF300",
+            "rounds": ROUNDS,
+            "sources": len(sources),
+            "vectorized_ms": timings["vectorized"],
+            "per_source_loop_ms": timings["per-source loop"],
+            "speedup": speedup,
+        },
+    )
 
     assert speedup > 2

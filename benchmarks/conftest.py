@@ -75,11 +75,21 @@ def emit(
     When the run was invoked with ``--json`` and *data* is given, the same
     results are also written machine-readable to ``results/<archive>.json``
     (harness consumers parse that instead of the paper-style table).
+
+    Every archived table should carry ``data=`` — a bench that archives
+    text only leaves a hole in the machine-readable record, so that case
+    warns to stderr instead of passing silently.
     """
     text = lines if isinstance(lines, str) else "\n".join(lines)
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
     if archive is not None:
+        if data is None:
+            print(
+                f"WARNING: emit(archive={archive!r}) without data= — "
+                "no machine-readable results/*.json will be written for it",
+                file=sys.stderr,
+            )
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / archive
         with open(path, "a") as handle:

@@ -8,13 +8,20 @@ Subcommands::
     python -m repro.cli profile IC5 --scale SF1 --variant all
     python -m repro.cli metrics --scale SF1 --ops 100 --format prom
     python -m repro.cli fuzz --seed 0 --iterations 200 --corpus tests/corpus
+    python -m repro.cli perf record --workload smoke
+    python -m repro.cli perf compare
+    python -m repro.cli perf report
+    python -m repro.cli flightrec --scale SF1 --ops 50 --format json
 
 ``query``, ``bench``, and ``profile`` accept either ``--scale`` (generate
 a mini-SNB graph in memory) or ``--graph DIR`` (load a snapshot written by
 ``generate --out``).  ``profile`` renders the per-operator span tree of
 one query (an LDBC name like ``IC5`` or raw Cypher); ``metrics`` runs a
 short driver workload and exports the process metrics registry as
-Prometheus text or JSON.
+Prometheus text or JSON.  ``perf`` drives the continuous-performance
+trajectory (record a pinned workload into ``BENCH_trajectory.json``,
+gate the newest record against history, print the history); ``flightrec``
+runs a workload and dumps the engine's always-on flight recorder.
 """
 
 from __future__ import annotations
@@ -152,10 +159,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     The target is either a registered LDBC query name (``IC5`` — parameters
     drawn from the dataset's generator) or raw Cypher text (parameters via
     ``--param``); ``--variant all`` profiles every paper variant on the
-    same store.
+    same store.  ``--format json`` emits the span tree in the same
+    serialization the flight recorder dumps (``obs.export.span_tree_json``).
     """
+    import json
+
     from .engine.service import profile_summary
     from .ldbc import ParameterGenerator, REGISTRY
+    from .obs import span_tree_json
 
     store, dataset = _resolve_store(args)
     variants = list(VARIANTS) if args.variant == "all" else [args.variant]
@@ -166,18 +177,37 @@ def cmd_profile(args: argparse.Namespace) -> int:
         params = ParameterGenerator(dataset, seed=args.seed).params_for(args.target)
     else:
         params = _parse_params(args.param)
+    profiles = []
     for variant in variants:
         engine = _make_engine(store, variant)
         if is_ldbc:
             stats = ExecStats()
             stats.begin_trace()
             REGISTRY[args.target].fn(engine, dict(params), stats)
+            root = stats.trace.finish()
+            if args.format == "json":
+                profiles.append(
+                    {"variant": variant, "query": args.target}
+                    | span_tree_json(root)
+                )
+                continue
             print(f"EXPLAIN ANALYZE ({variant}) — {args.target}")
-            print(render_span_tree(stats.trace.finish()))
+            print(render_span_tree(root))
             print(profile_summary(stats))
         else:
+            if args.format == "json":
+                stats = ExecStats()
+                stats.begin_trace()
+                engine.execute(args.target, params, stats=stats)
+                profiles.append(
+                    {"variant": variant, "query": args.target}
+                    | span_tree_json(stats.trace.finish())
+                )
+                continue
             print(engine.explain_analyze(args.target, params))
         print()
+    if args.format == "json":
+        print(json.dumps(profiles, indent=2, default=str))
     return 0
 
 
@@ -239,6 +269,115 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _parse_slowdowns(specs: list[str] | None) -> dict[str, float]:
+    """``--inject-slowdown Expand=2.0`` → ``{"Expand": 2.0}``."""
+    factors: dict[str, float] = {}
+    for spec in specs or []:
+        op, sep, factor = spec.partition("=")
+        if not sep or not op:
+            raise SystemExit(
+                f"bad --inject-slowdown {spec!r}: expected OPERATOR=FACTOR"
+            )
+        try:
+            factors[op] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"bad --inject-slowdown factor {factor!r}: expected a number"
+            ) from None
+    return factors
+
+
+def cmd_perf_record(args: argparse.Namespace) -> int:
+    """Record one pinned-workload run into the trajectory file."""
+    from .perf import WORKLOADS, append_record, record_run
+
+    if args.workload not in WORKLOADS:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}"
+        )
+    slowdowns = _parse_slowdowns(args.inject_slowdown)
+    if slowdowns:
+        print(
+            f"WARNING: recording with injected slowdowns {slowdowns} "
+            "(gate self-test mode — the record is flagged)",
+            file=sys.stderr,
+        )
+    on_event = (lambda msg: print(f"  {msg}", file=sys.stderr)) if args.verbose else None
+    record = record_run(
+        args.workload, inject_slowdowns=slowdowns or None, on_event=on_event
+    )
+    path = append_record(record, args.trajectory)
+    spec = WORKLOADS[args.workload]
+    queries = len(spec.read_queries) + len(spec.update_queries)
+    print(
+        f"recorded {args.workload} v{spec.version} @ {spec.scale}: "
+        f"{queries} queries x {len(spec.variants)} variants, "
+        f"{record['elapsed_seconds']:.1f}s -> {path}"
+    )
+    return 0
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    """Gate the newest trajectory record against history (exit 1 on regression)."""
+    from .perf import TrajectoryError, compare_trajectory, load_trajectory, render_report
+
+    try:
+        records = load_trajectory(args.trajectory)
+        report = compare_trajectory(
+            records,
+            band_floor=args.band_floor,
+            band_k=args.band_k,
+            min_effect_ms=args.min_effect_ms,
+        )
+    except (TrajectoryError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(render_report(report, verbose=args.verbose))
+    return 1 if report.has_regressions else 0
+
+
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    """Print the trajectory history, one line per record."""
+    from .perf import load_trajectory
+    from .perf.gate import render_history
+
+    print(render_history(load_trajectory(args.trajectory)))
+    return 0
+
+
+def cmd_flightrec(args: argparse.Namespace) -> int:
+    """Run a short workload, then dump the engine's flight recorder.
+
+    The dump is the ring's retained span trees + metric snapshots for the
+    last N completed queries and every slow query — the same payload the
+    fuzz harness attaches to failure artifacts.
+    """
+    import json
+
+    from .obs.flightrec import render_flight_dump
+
+    dataset = generate(args.scale, seed=args.seed)
+    engine = _make_engine(dataset.store, args.variant)
+    if getattr(engine, "flight", None) is None:
+        raise SystemExit(
+            f"variant {args.variant!r} has no flight recorder "
+            "(EngineConfig.flight_recorder is 0)"
+        )
+    BenchmarkDriver(engine, dataset, seed=args.seed).run(args.ops)
+    dump = engine.flight.dump(last=args.last)
+    if args.format == "json":
+        text = json.dumps(dump, indent=2, default=str)
+    else:
+        text = render_flight_dump(dump)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"flight-recorder dump written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Audit read-query agreement across all engine variants."""
     dataset = generate(args.scale, seed=args.seed)
@@ -297,6 +436,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--variant", default="GES_f*", help="engine variant, or 'all' for all three"
     )
     profile.add_argument("--param", action="append", metavar="NAME=VALUE")
+    profile.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json = the span-tree serialization the flight recorder dumps",
+    )
     profile.set_defaults(fn=cmd_profile)
 
     metrics = sub.add_parser(
@@ -326,6 +471,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--verbose", action="store_true", help="per-graph progress")
     fuzz.set_defaults(fn=cmd_fuzz)
+
+    perf = sub.add_parser(
+        "perf", help="continuous-performance trajectory: record/compare/report"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_record = perf_sub.add_parser(
+        "record", help="run a pinned workload, append one trajectory record"
+    )
+    perf_record.add_argument(
+        "--workload", default="full", help="pinned workload spec (full/smoke)"
+    )
+    perf_record.add_argument(
+        "--trajectory", help="trajectory file (default: BENCH_trajectory.json)"
+    )
+    perf_record.add_argument(
+        "--inject-slowdown",
+        action="append",
+        metavar="OPERATOR=FACTOR",
+        help="busy-wait slowdown for the gate self-test (e.g. Expand=2.0)",
+    )
+    perf_record.add_argument(
+        "--verbose", action="store_true", help="per-repeat progress on stderr"
+    )
+    perf_record.set_defaults(fn=cmd_perf_record)
+
+    perf_compare = perf_sub.add_parser(
+        "compare", help="gate the newest record against history (exit 1 on regression)"
+    )
+    perf_compare.add_argument("--trajectory")
+    perf_compare.add_argument("--band-floor", type=float, default=0.30)
+    perf_compare.add_argument("--band-k", type=float, default=5.0)
+    perf_compare.add_argument(
+        "--min-effect-ms",
+        type=float,
+        default=0.25,
+        help="absolute p50 shifts below this are always 'unchanged'",
+    )
+    perf_compare.add_argument(
+        "--verbose", action="store_true", help="print every cell, not just changes"
+    )
+    perf_compare.set_defaults(fn=cmd_perf_compare)
+
+    perf_report = perf_sub.add_parser(
+        "report", help="print the trajectory history, one line per record"
+    )
+    perf_report.add_argument("--trajectory")
+    perf_report.set_defaults(fn=cmd_perf_report)
+
+    flightrec = sub.add_parser(
+        "flightrec", help="run a workload, dump the engine flight recorder"
+    )
+    flightrec.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    flightrec.add_argument("--ops", type=int, default=50)
+    flightrec.add_argument("--seed", type=int, default=7)
+    flightrec.add_argument("--variant", default="GES_f*")
+    flightrec.add_argument(
+        "--last", type=int, help="only the newest N records from the recent ring"
+    )
+    flightrec.add_argument("--format", choices=("text", "json"), default="text")
+    flightrec.add_argument("--out", help="write the dump to a file instead of stdout")
+    flightrec.set_defaults(fn=cmd_flightrec)
 
     check = sub.add_parser("validate", help="audit engine agreement on reads")
     check.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))

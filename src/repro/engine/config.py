@@ -27,6 +27,8 @@ class EngineConfig:
     plan_cache_size: int = 128  # LRU capacity when the cache is enabled
     tracing: bool = False  # per-query span trees (repro.obs.tracing)
     metrics: bool = True  # engine-level instruments (repro.obs.metrics)
+    flight_recorder: int = 64  # last-N query ring size (0 disables)
+    slow_query_ms: float = 50.0  # pin queries slower than this in the slow ring
 
     @classmethod
     def ges(
@@ -35,6 +37,8 @@ class EngineConfig:
         plan_cache: bool = True,
         tracing: bool = False,
         metrics: bool = True,
+        flight_recorder: int = 64,
+        slow_query_ms: float = 50.0,
     ) -> "EngineConfig":
         """The flat baseline variant (paper: GES)."""
         return cls(
@@ -46,6 +50,8 @@ class EngineConfig:
             plan_cache=plan_cache,
             tracing=tracing,
             metrics=metrics,
+            flight_recorder=flight_recorder,
+            slow_query_ms=slow_query_ms,
         )
 
     @classmethod
@@ -55,6 +61,8 @@ class EngineConfig:
         plan_cache: bool = True,
         tracing: bool = False,
         metrics: bool = True,
+        flight_recorder: int = 64,
+        slow_query_ms: float = 50.0,
     ) -> "EngineConfig":
         """The factorized variant without fusion (paper: GES_f)."""
         return cls(
@@ -65,6 +73,8 @@ class EngineConfig:
             plan_cache=plan_cache,
             tracing=tracing,
             metrics=metrics,
+            flight_recorder=flight_recorder,
+            slow_query_ms=slow_query_ms,
         )
 
     @classmethod
@@ -74,6 +84,8 @@ class EngineConfig:
         plan_cache: bool = True,
         tracing: bool = False,
         metrics: bool = True,
+        flight_recorder: int = 64,
+        slow_query_ms: float = 50.0,
     ) -> "EngineConfig":
         """The factorized variant with operator fusion (paper: GES_f*)."""
         return cls(
@@ -84,6 +96,8 @@ class EngineConfig:
             plan_cache=plan_cache,
             tracing=tracing,
             metrics=metrics,
+            flight_recorder=flight_recorder,
+            slow_query_ms=slow_query_ms,
         )
 
 

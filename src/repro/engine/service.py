@@ -24,6 +24,7 @@ from typing import Any, Mapping
 
 from ..exec.base import ExecStats, QueryResult
 from ..obs.clock import now
+from ..obs.flightrec import FlightRecorder
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import Span
 from ..plan.logical import LogicalPlan
@@ -64,6 +65,11 @@ class GraphEngineService:
             PlanCache(self.config.plan_cache_size) if self.config.plan_cache else None
         )
         self._schema_fingerprint = self.store.schema.fingerprint()
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(self.config.flight_recorder, self.config.slow_query_ms)
+            if self.config.flight_recorder > 0
+            else None
+        )
         self._init_metrics()
 
     def _init_metrics(self) -> None:
@@ -216,9 +222,9 @@ class GraphEngineService:
             stats = ExecStats()
         if self.config.tracing and stats.trace is None:
             stats.begin_trace()
+        started = now()
         measured = self._m_queries is not None
         if measured:
-            started = now()
             pre_hits = stats.plan_cache_hits
             pre_misses = stats.plan_cache_misses
             pre_defactor = stats.defactor_count
@@ -245,7 +251,28 @@ class GraphEngineService:
                 self._m_compression.observe(
                     (stats.flat_tuples - pre_tuples) / slots
                 )
+        if self.flight is not None:
+            self.flight.record(
+                query=query if isinstance(query, str) else _plan_label(query),
+                variant=self.config.name,
+                seconds=now() - started,
+                rows=len(result),
+                stats=stats,
+                metrics_snapshot=self._metrics_snapshot(),
+            )
         return result
+
+    def _metrics_snapshot(self) -> dict[str, float] | None:
+        """Cheap point-in-time read of this engine's pre-bound counters
+        (attribute loads only — no registry lookups on the query path)."""
+        if self._m_queries is None:
+            return None
+        return {
+            "ges_queries_total": self._m_queries.value,
+            "ges_plan_cache_hits_total": self._m_cache_hits.value,
+            "ges_plan_cache_misses_total": self._m_cache_misses.value,
+            "ges_defactor_total": self._m_defactor.value,
+        }
 
     def explain_analyze(
         self, query: str | LogicalPlan, params: Mapping[str, Any] | None = None
@@ -338,8 +365,26 @@ class GraphEngineService:
                 if self.plan_cache is not None
                 else {"enabled": False}
             ),
+            "flight_recorder": (
+                {
+                    "capacity": self.flight.capacity,
+                    "slow_ms": self.flight.slow_ms,
+                    "recorded": self.flight.recorded,
+                    "slow_recorded": self.flight.slow_recorded,
+                }
+                if self.flight is not None
+                else {"enabled": False}
+            ),
             "modules": self.registry.describe(),
         }
+
+
+def _plan_label(plan: LogicalPlan) -> str:
+    """Compact flight-recorder label for a plan-form query (no Cypher text
+    to show; the operator chain identifies the template)."""
+    from ..plan.logical import plan_summary
+
+    return f"<plan: {plan_summary(plan)}>"
 
 
 def profile_summary(stats: ExecStats) -> str:

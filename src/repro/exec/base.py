@@ -219,6 +219,28 @@ class ExecutionContext:
             raise ExecutionError(f"unbound vertex variable {var!r}") from None
 
 
+#: Injected per-operator slowdown factors — the perf regression gate's
+#: self-test hook (``repro perf record --inject-slowdown Expand=2.0``).
+#: Empty in normal operation: the only hot-path cost is one truthiness
+#: check of a module global per operator exit.
+_SLOWDOWNS: dict[str, float] = {}
+
+
+def set_injected_slowdowns(factors: Mapping[str, float] | None) -> None:
+    """Install (or clear, with None/empty) operator slowdown factors.
+
+    A factor F > 1 on operator ``name`` makes every ``OpTimer`` for that
+    operator busy-wait until F× its real elapsed time has passed — a
+    *genuine* wall-clock slowdown, so the regression gate's self-test
+    measures a real effect rather than doctored numbers.  Test/CI only.
+    """
+    _SLOWDOWNS.clear()
+    for name, factor in (factors or {}).items():
+        if factor <= 1.0:
+            raise ValueError(f"slowdown factor for {name!r} must be > 1.0")
+        _SLOWDOWNS[name] = float(factor)
+
+
 class OpTimer:
     """Context manager timing one operator and recording the output size.
 
@@ -248,6 +270,13 @@ class OpTimer:
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         elapsed = now() - self._start
+        if _SLOWDOWNS:
+            factor = _SLOWDOWNS.get(self.name, 0.0)
+            if factor > 1.0:
+                deadline = self._start + elapsed * factor
+                while now() < deadline:  # busy-wait: a real measured slowdown
+                    pass
+                elapsed = now() - self._start
         self.ctx.stats.record_op(self.name, elapsed, self.out_bytes)
         if self._span is not None:
             self._span.attrs.setdefault("out_bytes", self.out_bytes)

@@ -300,7 +300,12 @@ class BenchmarkDriver:
             try:
                 rows = definition.fn(self.engine, op.params, stats)
             except Exception as exc:  # audit: every operation must succeed
-                raise DriverError(f"{op.name} failed with params {op.params}") from exc
+                error = DriverError(f"{op.name} failed with params {op.params}")
+                # Attach the engine's flight recorder: the recent ring holds
+                # exactly the operations leading up to this failure.
+                flight = getattr(self.engine, "flight", None)
+                error.flight_dump = flight.dump() if flight is not None else None
+                raise error from exc
             elapsed = now() - started
             report.logs.append(
                 OperationLog(

@@ -15,8 +15,14 @@ Three pieces (see DESIGN.md's "Observability architecture" section):
 every timing call site in the engine reads.
 """
 
-from .clock import now
-from .export import metrics_json, prometheus_text, render_span_tree
+from .clock import now, wall_time
+from .export import (
+    metrics_json,
+    prometheus_text,
+    render_span_tree,
+    span_tree_json,
+)
+from .flightrec import FlightRecord, FlightRecorder, render_flight_dump
 from .metrics import (
     REGISTRY,
     Counter,
@@ -29,6 +35,7 @@ from .tracing import Span, SpanTracer
 
 __all__ = [
     "now",
+    "wall_time",
     "Span",
     "SpanTracer",
     "Counter",
@@ -40,4 +47,8 @@ __all__ = [
     "prometheus_text",
     "metrics_json",
     "render_span_tree",
+    "span_tree_json",
+    "FlightRecord",
+    "FlightRecorder",
+    "render_flight_dump",
 ]

@@ -10,10 +10,14 @@ other clock is used for timing anywhere in ``src/`` or ``benchmarks/``.
 
 ``now`` is a direct reference to ``time.perf_counter`` (not a wrapper), so
 routing through this module costs nothing on the hot path.
+
+``wall_time`` is the one sanctioned wall-clock source, for *timestamps*
+(flight-recorder records, trajectory entries) — never for durations.
 """
 
 from __future__ import annotations
 
 from time import perf_counter as now
+from time import time as wall_time
 
-__all__ = ["now"]
+__all__ = ["now", "wall_time"]

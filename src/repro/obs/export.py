@@ -1,13 +1,16 @@
 """Export surfaces for the observability substrate.
 
-Three renderers:
+Four renderers:
 
 * :func:`prometheus_text` — the Prometheus text exposition format
-  (HELP/TYPE lines, ``_bucket``/``_sum``/``_count`` series for histograms);
+  (HELP/TYPE lines, ``_bucket``/``_sum``/``_count`` series for histograms,
+  label values escaped per the format);
 * :func:`metrics_json` — a JSON-ready dict with histogram summaries
   (count, mean, p50/p95/p99) instead of raw buckets;
 * :func:`render_span_tree` — the human-readable per-operator profile behind
-  ``GES.explain_analyze()`` and the CLI ``profile`` command.
+  ``GES.explain_analyze()`` and the CLI ``profile`` command;
+* :func:`span_tree_json` — the machine-readable span-tree serialization
+  shared by ``profile --format json`` and the flight recorder.
 """
 
 from __future__ import annotations
@@ -19,8 +22,15 @@ from .metrics import Histogram, MetricsRegistry
 from .tracing import Span
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus text exposition format:
+    backslash, double quote, and line feed (in that order — the backslash
+    pass must not re-escape the escapes it just produced)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -48,6 +58,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 cumulative = 0
                 for bound, cum in instrument.cumulative_buckets():
                     cumulative = cum
+                    if not math.isfinite(bound):
+                        continue  # folded into the trailing +Inf bucket below
                     le = 'le="' + _num(bound) + '"'
                     lines.append(
                         f"{family.name}_bucket{_labels_text(labels, le)} {cum}"
@@ -87,6 +99,25 @@ def metrics_json(registry: MetricsRegistry) -> dict[str, Any]:
             "series": series,
         }
     return out
+
+
+#: Version stamp on every serialized span tree (flight-recorder dumps,
+#: ``profile --format json``) so downstream parsers can detect drift.
+SPAN_TREE_SCHEMA_VERSION = 1
+
+
+def span_tree_json(root: Span) -> dict[str, Any]:
+    """The one machine-readable span-tree serialization.
+
+    ``repro profile --format json`` and the flight recorder both emit
+    this shape, so a human profiling interactively and a tool digging
+    through a flight-recorder dump parse identical trees:
+    ``{name, seconds, attrs, children: [...]}`` under a versioned wrapper.
+    """
+    return {
+        "schema_version": SPAN_TREE_SCHEMA_VERSION,
+        "root": root.to_dict(),
+    }
 
 
 def _fmt_attr(key: str, value: Any) -> str:

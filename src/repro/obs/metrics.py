@@ -107,25 +107,52 @@ class Histogram:
         self.labels = labels
         self.lowest = lowest
         self.growth = growth
-        self._counts: dict[int, int] = {}
+        # Keyed by bucket index; math.inf keys the overflow bucket.
+        self._counts: dict[float, int] = {}
         self._lock = threading.Lock()
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
 
-    def _bucket_of(self, value: float) -> int:
+    def _bucket_of(self, value: float) -> float:
         if value <= self.lowest:
             return 0
-        return max(0, math.ceil(math.log(value / self.lowest) / math.log(self.growth)))
+        if value == math.inf:
+            return math.inf  # the overflow bucket (upper bound +Inf)
+        # ceil(log_growth(value / lowest)) suffers float fuzz exactly on
+        # bucket boundaries, where log(growth**k)/log(growth) can land an
+        # epsilon above or below k.  upper_bound() is the ground truth, so
+        # the candidate is nudged until it is the *smallest* bucket whose
+        # inclusive upper bound covers the value — boundary observations
+        # land in one deterministic bucket.
+        bucket = max(
+            0, math.ceil(math.log(value / self.lowest) / math.log(self.growth))
+        )
+        while bucket > 0 and self.upper_bound(bucket - 1) >= value:
+            bucket -= 1
+        while self.upper_bound(bucket) < value:
+            bucket += 1
+        return bucket
 
-    def upper_bound(self, bucket: int) -> float:
-        """Inclusive upper bound of *bucket*."""
+    def upper_bound(self, bucket: float) -> float:
+        """Inclusive upper bound of *bucket* (+Inf for the overflow bucket)."""
+        if bucket == math.inf:
+            return math.inf
         return self.lowest * self.growth**bucket
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Any finite value is accepted — zero and negatives land in bucket 0
+        (whose interpolation is clamped to the observed min), ``+inf``
+        lands in the overflow bucket with upper bound ``+Inf`` — but NaN
+        is rejected: it has no order, so no bucket or percentile could
+        ever report it meaningfully.
+        """
         value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
         bucket = self._bucket_of(value)
         with self._lock:
             self._counts[bucket] = self._counts.get(bucket, 0) + 1
@@ -155,6 +182,8 @@ class Histogram:
             in_bucket = self._counts[bucket]
             if cumulative + in_bucket >= rank:
                 hi = self.upper_bound(bucket)
+                if not math.isfinite(hi):  # overflow bucket: only +inf lives here
+                    return float(self.max)
                 lo = hi / self.growth if bucket > 0 else min(self.min, hi)
                 frac = (rank - cumulative) / in_bucket
                 if lo <= 0:

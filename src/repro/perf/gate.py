@@ -1,0 +1,241 @@
+"""The noise-aware regression gate over the perf trajectory.
+
+The comparator answers one question per (variant, query) cell: is the
+latest record's p50 outside the noise band implied by the cell's own
+history?  The band is derived, not guessed:
+
+* Each record carries the cell's MAD (median absolute deviation) across
+  its interleaved repeats.  ``MAD × 1.4826`` is a robust stand-in for the
+  standard deviation (exact under normality, outlier-immune otherwise).
+* The cell's relative dispersion is the *median* ``1.4826 × MAD / p50``
+  across the baseline records and the new record — a historically noisy
+  cell gets a wide band, a tight cell a narrow one, and one freak record
+  (a scheduler storm during that run) cannot poison every later
+  comparison the way a max would.
+* The band is ``max(band_floor, band_k × dispersion)``.  The floor
+  absorbs the quantization noise of sub-millisecond Python timings;
+  ``band_k`` sets how many "sigmas" of robust dispersion a change must
+  clear before the gate calls it real.
+
+Verdicts: ``regressed`` (ratio > 1 + band), ``improved`` (ratio <
+1 / (1 + band)), ``unchanged`` otherwise, ``new`` when the cell has no
+baseline.  A relative band alone misfires on the fastest cells — a
+0.15 ms query that drifts to 0.25 ms is a 1.7x ratio but a 0.1 ms
+absolute shift, beneath what a Python timer on a shared machine can
+attribute to the code — so shifts smaller than ``min_effect_ms`` are
+always ``unchanged`` regardless of ratio.  Only records made under the identical workload (name, version,
+scale) are comparable — a workload edit can never masquerade as a perf
+change.  A machine-fingerprint mismatch is surfaced as a warning in the
+report (cross-machine comparisons answer a different question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: MAD -> sigma consistency constant (normal distribution).
+MAD_SIGMA = 1.4826
+
+#: Default gate tuning.  The floor must swallow timer quantization on the
+#: sub-millisecond queries of the mini-scale workloads; a genuine 2x
+#: operator slowdown clears it by a wide margin.
+DEFAULT_BAND_FLOOR = 0.30
+DEFAULT_BAND_K = 5.0
+DEFAULT_MIN_EFFECT_MS = 0.25
+
+
+@dataclass
+class Verdict:
+    """One (variant, query) comparison."""
+
+    variant: str
+    query: str
+    verdict: str  # regressed | improved | unchanged | new
+    p50_ms: float
+    baseline_p50_ms: float | None
+    ratio: float | None
+    band: float | None
+
+    def __str__(self) -> str:
+        if self.verdict == "new":
+            return (
+                f"{self.variant}/{self.query}: new "
+                f"(p50 {self.p50_ms:.3f} ms, no baseline)"
+            )
+        return (
+            f"{self.variant}/{self.query}: {self.verdict} "
+            f"(p50 {self.p50_ms:.3f} ms vs {self.baseline_p50_ms:.3f} ms, "
+            f"x{self.ratio:.2f}, band +/-{self.band * 100:.0f}%)"
+        )
+
+
+@dataclass
+class GateReport:
+    """Outcome of one gate run."""
+
+    workload: str
+    baseline_count: int
+    verdicts: list[Verdict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def of(self, verdict: str) -> list[Verdict]:
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.of("regressed"))
+
+    def summary(self) -> str:
+        counts = {
+            kind: len(self.of(kind))
+            for kind in ("regressed", "improved", "unchanged", "new")
+        }
+        status = "REGRESSED" if self.has_regressions else "OK"
+        return (
+            f"{status}: workload={self.workload} baselines={self.baseline_count} "
+            + " ".join(f"{kind}={n}" for kind, n in counts.items())
+        )
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _workload_key(record: dict[str, Any]) -> tuple[Any, Any, Any]:
+    workload = record["workload"]
+    return (workload["name"], workload["version"], workload["scale"])
+
+
+def compare_records(
+    latest: dict[str, Any],
+    baselines: list[dict[str, Any]],
+    band_floor: float = DEFAULT_BAND_FLOOR,
+    band_k: float = DEFAULT_BAND_K,
+    min_effect_ms: float = DEFAULT_MIN_EFFECT_MS,
+) -> GateReport:
+    """Gate *latest* against compatible *baselines* (see module docstring)."""
+    key = _workload_key(latest)
+    usable = [r for r in baselines if _workload_key(r) == key]
+    report = GateReport(
+        workload=f"{key[0]} v{key[1]} @ {key[2]}", baseline_count=len(usable)
+    )
+    skipped = len(baselines) - len(usable)
+    if skipped:
+        report.notes.append(
+            f"{skipped} baseline record(s) skipped: different workload identity"
+        )
+    fingerprints = {r["machine"].get("fingerprint") for r in usable}
+    latest_fp = latest["machine"].get("fingerprint")
+    if usable and fingerprints != {latest_fp}:
+        report.notes.append(
+            "machine fingerprint differs from baseline(s) — "
+            "cross-machine deltas are not perf regressions"
+        )
+    if latest.get("injected_slowdowns"):
+        report.notes.append(
+            f"latest record carries injected slowdowns: "
+            f"{latest['injected_slowdowns']} (gate self-test mode)"
+        )
+
+    for variant, block in sorted(latest["variants"].items()):
+        for query, stats in sorted(block["queries"].items()):
+            history = [
+                r["variants"][variant]["queries"][query]
+                for r in usable
+                if query in r["variants"].get(variant, {}).get("queries", {})
+            ]
+            if not history:
+                report.verdicts.append(
+                    Verdict(variant, query, "new", stats["p50_ms"], None, None, None)
+                )
+                continue
+            center = _median([h["p50_ms"] for h in history])
+            dispersions = [
+                MAD_SIGMA * h["mad_ms"] / h["p50_ms"]
+                for h in history + [stats]
+                if h["p50_ms"] > 0
+            ]
+            band = max(
+                band_floor,
+                band_k * (_median(dispersions) if dispersions else 0.0),
+            )
+            ratio = stats["p50_ms"] / center if center > 0 else float("inf")
+            if abs(stats["p50_ms"] - center) <= min_effect_ms:
+                verdict = "unchanged"
+            elif ratio > 1 + band:
+                verdict = "regressed"
+            elif ratio < 1 / (1 + band):
+                verdict = "improved"
+            else:
+                verdict = "unchanged"
+            report.verdicts.append(
+                Verdict(variant, query, verdict, stats["p50_ms"], center, ratio, band)
+            )
+    return report
+
+
+def compare_trajectory(
+    records: list[dict[str, Any]],
+    band_floor: float = DEFAULT_BAND_FLOOR,
+    band_k: float = DEFAULT_BAND_K,
+    min_effect_ms: float = DEFAULT_MIN_EFFECT_MS,
+) -> GateReport:
+    """Gate the newest record against every prior compatible record."""
+    if len(records) < 2:
+        raise ValueError(
+            "comparing needs at least two trajectory records "
+            f"(found {len(records)}); run `repro perf record` twice"
+        )
+    return compare_records(
+        records[-1],
+        records[:-1],
+        band_floor=band_floor,
+        band_k=band_k,
+        min_effect_ms=min_effect_ms,
+    )
+
+
+def render_report(report: GateReport, verbose: bool = False) -> str:
+    """Human-readable gate output: regressions always, the rest on demand."""
+    lines = [report.summary()]
+    lines.extend(f"  note: {note}" for note in report.notes)
+    for kind in ("regressed", "improved", "new", "unchanged"):
+        verdicts = report.of(kind)
+        if not verdicts:
+            continue
+        if kind == "unchanged" and not verbose:
+            continue
+        if kind in ("regressed", "improved") or verbose:
+            lines.extend(f"  {v}" for v in verdicts)
+        else:
+            lines.append(f"  {kind}: {len(verdicts)} cell(s)")
+    return "\n".join(lines)
+
+
+def render_history(records: list[dict[str, Any]]) -> str:
+    """``repro perf report``: one line per record, newest last."""
+    if not records:
+        return "trajectory is empty — run `repro perf record` first"
+    lines = [
+        f"{'#':>3} {'recorded_at':25} {'git_sha':12} {'machine':16} "
+        f"{'workload':20} {'variants':28} {'elapsed':>8}"
+    ]
+    for i, record in enumerate(records):
+        workload = record["workload"]
+        ops = ", ".join(
+            f"{v}:{b['ops_per_second']:.0f}/s"
+            for v, b in sorted(record["variants"].items())
+        )
+        flag = " [injected]" if record.get("injected_slowdowns") else ""
+        lines.append(
+            f"{i:>3} {record['recorded_at']:25} {record['git_sha'][:12]:12} "
+            f"{record['machine'].get('fingerprint', '?'):16} "
+            f"{workload['name'] + ' v' + str(workload['version']) + ' ' + workload['scale']:20} "
+            f"{ops:28} {record['elapsed_seconds']:>7.1f}s{flag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""``BENCH_trajectory.json``: the repo's append-only perf history.
+
+One file at the repo root, one JSON object::
+
+    {"schema_version": 1, "records": [ <record>, <record>, ... ]}
+
+Every ``repro perf record`` run appends exactly one record (see
+:mod:`repro.perf.recorder` for its contents); the regression gate reads
+the whole history to derive noise bands.  Records are validated on both
+append *and* load — a hand-edited or truncated trajectory fails loudly
+instead of silently feeding the gate garbage baselines.
+
+The validator is deliberately hand-rolled (no jsonschema dependency):
+:func:`validate_record` checks key presence, types, and the per-query
+stat block shape, raising :class:`TrajectoryError` with a path-like
+location (``variants.GES.queries.IC5.p50_ms``) on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Per-query stat block: key -> required number-ness.
+_QUERY_STAT_KEYS = ("samples", "p50_ms", "p95_ms", "mean_ms", "mad_ms")
+_WORKLOAD_KEYS = (
+    "name", "version", "scale", "seed", "param_seed",
+    "warmup", "repeats", "draws", "read_queries", "update_queries", "variants",
+)
+
+
+class TrajectoryError(ValueError):
+    """A malformed trajectory file or record."""
+
+
+def default_trajectory_path() -> Path:
+    """``BENCH_trajectory.json`` at the repo root (next to ``src/``)."""
+    return Path(__file__).resolve().parents[3] / "BENCH_trajectory.json"
+
+
+def _require(condition: bool, where: str, expected: str) -> None:
+    if not condition:
+        raise TrajectoryError(f"trajectory record invalid at {where}: {expected}")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_record(record: Any) -> dict[str, Any]:
+    """Structurally validate one trajectory record; returns it unchanged."""
+    _require(isinstance(record, dict), "<record>", "must be an object")
+    _require(
+        record.get("schema_version") == TRAJECTORY_SCHEMA_VERSION,
+        "schema_version",
+        f"must be {TRAJECTORY_SCHEMA_VERSION}",
+    )
+    for key in ("workload", "machine", "variants"):
+        _require(isinstance(record.get(key), dict), key, "must be an object")
+    for key in ("recorded_at", "git_sha"):
+        _require(isinstance(record.get(key), str), key, "must be a string")
+    _require(
+        _is_number(record.get("elapsed_seconds")),
+        "elapsed_seconds",
+        "must be a number",
+    )
+    _require(
+        isinstance(record.get("injected_slowdowns"), dict),
+        "injected_slowdowns",
+        "must be an object",
+    )
+    workload = record["workload"]
+    for key in _WORKLOAD_KEYS:
+        _require(key in workload, f"workload.{key}", "is required")
+    _require(
+        isinstance(workload["version"], int), "workload.version", "must be an int"
+    )
+    machine = record["machine"]
+    _require(
+        isinstance(machine.get("fingerprint"), str),
+        "machine.fingerprint",
+        "must be a string",
+    )
+    _require(len(record["variants"]) > 0, "variants", "must not be empty")
+    for variant, block in record["variants"].items():
+        where = f"variants.{variant}"
+        _require(isinstance(block, dict), where, "must be an object")
+        _require(
+            isinstance(block.get("queries"), dict) and block["queries"],
+            f"{where}.queries",
+            "must be a non-empty object",
+        )
+        _require(
+            _is_number(block.get("ops_per_second")),
+            f"{where}.ops_per_second",
+            "must be a number",
+        )
+        _require(
+            _is_number(block.get("peak_fblock_bytes")),
+            f"{where}.peak_fblock_bytes",
+            "must be a number",
+        )
+        for key in ("plan_cache_hit_rate", "compression_ratio"):
+            value = block.get(key)
+            _require(
+                value is None or _is_number(value),
+                f"{where}.{key}",
+                "must be a number or null",
+            )
+        for query, stats in block["queries"].items():
+            qwhere = f"{where}.queries.{query}"
+            _require(isinstance(stats, dict), qwhere, "must be an object")
+            for key in _QUERY_STAT_KEYS:
+                _require(
+                    _is_number(stats.get(key)),
+                    f"{qwhere}.{key}",
+                    "must be a number",
+                )
+            _require(
+                stats["samples"] >= 1, f"{qwhere}.samples", "must be >= 1"
+            )
+    return record
+
+
+def load_trajectory(path: str | Path | None = None) -> list[dict[str, Any]]:
+    """All records in the trajectory file (empty list when absent)."""
+    path = Path(path) if path is not None else default_trajectory_path()
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TrajectoryError(f"{path} is not valid JSON: {exc}") from exc
+    _require(isinstance(payload, dict), "<file>", "must be an object")
+    _require(
+        payload.get("schema_version") == TRAJECTORY_SCHEMA_VERSION,
+        "schema_version",
+        f"must be {TRAJECTORY_SCHEMA_VERSION}",
+    )
+    records = payload.get("records")
+    _require(isinstance(records, list), "records", "must be an array")
+    return [validate_record(record) for record in records]
+
+
+def append_record(
+    record: dict[str, Any], path: str | Path | None = None
+) -> Path:
+    """Validate *record*, append it to the trajectory, return the path."""
+    path = Path(path) if path is not None else default_trajectory_path()
+    validate_record(record)
+    records = load_trajectory(path)
+    records.append(record)
+    payload = {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "records": records,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

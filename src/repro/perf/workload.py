@@ -1,0 +1,154 @@
+"""Pinned, versioned benchmark workloads for the perf trajectory.
+
+A trajectory is only comparable across commits if every run measures the
+*same* work: same graph (scale + datagen seed), same queries, same
+parameter draws, same repeat protocol.  A :class:`WorkloadSpec` pins all
+of that and carries a ``version`` that MUST be bumped whenever any pinned
+ingredient changes — the regression gate refuses to compare records made
+under different (name, version) pairs, so a workload edit can never
+masquerade as a perf change (the parameter-curve trap the LDBC SNB
+benchmarking paper warns about).
+
+Two specs ship:
+
+* ``full`` — all 14 IC + 7 IS reads on GES / GES_f / GES_f* / Volcano
+  and all 8 IU updates on the three GES variants, at SF10.  The record
+  committed to ``BENCH_trajectory.json`` at the repo root uses this.
+* ``smoke`` — a small pinned subset at SF1 for CI's perf-smoke job and
+  tests (~seconds per record).
+
+Updates are excluded from the Volcano baseline (it executes read plans
+only).  IU parameters allocate fresh entity ids, so each (repeat, draw)
+slot gets its own pre-drawn parameter dict — replayed identically on
+every variant (each variant runs against its own copy of the dataset)
+and identically across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..ldbc import ParameterGenerator, generate
+from ..ldbc.datagen import SnbDataset
+
+#: Engine variants a workload can target.  Order is the interleave order.
+READ_VARIANTS = ("GES", "GES_f", "GES_f*", "Volcano")
+UPDATE_VARIANTS = ("GES", "GES_f", "GES_f*")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One pinned workload: bump ``version`` on ANY change to the rest."""
+
+    name: str
+    version: int
+    scale: str
+    seed: int  # datagen seed — pins the graph
+    param_seed: int  # parameter-stream seed — pins the draws
+    warmup: int  # leading repeats discarded (JIT/caches/page faults)
+    repeats: int  # measured repeats (interleaved across variants)
+    draws: int  # parameter draws per query per repeat
+    read_queries: tuple[str, ...]
+    update_queries: tuple[str, ...]
+    variants: tuple[str, ...] = READ_VARIANTS
+
+    @property
+    def samples_per_query(self) -> int:
+        """Measured timing samples each (variant, query) cell collects."""
+        return self.repeats * self.draws
+
+    def identity(self) -> dict[str, Any]:
+        """The comparability key recorded into every trajectory entry."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "scale": self.scale,
+            "seed": self.seed,
+            "param_seed": self.param_seed,
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "draws": self.draws,
+            "read_queries": list(self.read_queries),
+            "update_queries": list(self.update_queries),
+            "variants": list(self.variants),
+        }
+
+    def variants_for(self, query: str) -> tuple[str, ...]:
+        """Updates never run on Volcano (read-plan baseline)."""
+        if query in self.update_queries:
+            return tuple(v for v in self.variants if v in UPDATE_VARIANTS)
+        return self.variants
+
+
+_IC = tuple(f"IC{i}" for i in range(1, 15))
+_IS = tuple(f"IS{i}" for i in range(1, 8))
+_IU = tuple(f"IU{i}" for i in range(1, 9))
+
+#: The pinned workloads.  NEVER edit a spec in place without bumping its
+#: ``version`` — the gate keys noise bands on (name, version).
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "full": WorkloadSpec(
+        name="full",
+        version=1,
+        scale="SF10",
+        seed=42,
+        param_seed=1234,
+        warmup=2,
+        repeats=5,
+        draws=3,
+        read_queries=_IC + _IS,
+        update_queries=_IU,
+    ),
+    "smoke": WorkloadSpec(
+        name="smoke",
+        version=2,  # v1 used warmup=1/repeats=3 — too few samples for a stable p50
+        scale="SF1",
+        seed=42,
+        param_seed=1234,
+        warmup=2,
+        repeats=5,
+        draws=2,
+        read_queries=("IC1", "IC2", "IC5", "IC9", "IS1", "IS2", "IS3"),
+        update_queries=("IU1", "IU2"),
+    ),
+}
+
+
+@dataclass
+class MaterializedWorkload:
+    """A spec turned into concrete datasets and parameter draws."""
+
+    spec: WorkloadSpec
+    datasets: dict[str, SnbDataset] = field(default_factory=dict)
+    #: read params: query -> one params dict per draw (reused every repeat
+    #: — reads are idempotent, so re-running the same draw is the point).
+    read_params: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+    #: update params: query -> one params dict per (repeat, draw) slot —
+    #: updates insert fresh entities, so each slot needs fresh ids.
+    update_params: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+
+    def update_params_at(self, query: str, repeat: int, draw: int) -> dict[str, Any]:
+        return self.update_params[query][repeat * self.spec.draws + draw]
+
+
+def materialize(spec: WorkloadSpec) -> MaterializedWorkload:
+    """Generate the pinned datasets and draw the pinned parameter streams.
+
+    Draw order is fixed (read queries in spec order, then update queries),
+    so the same spec always yields byte-identical parameter streams.  Each
+    variant gets its *own* dataset copy (updates mutate the store; sharing
+    one store would let variant A's inserts pollute variant B's reads).
+    """
+    out = MaterializedWorkload(spec=spec)
+    for variant in spec.variants:
+        out.datasets[variant] = generate(spec.scale, seed=spec.seed)
+    # One generator, one fixed draw order — any dataset copy works for
+    # drawing (they are identical), use the first variant's.
+    gen = ParameterGenerator(out.datasets[spec.variants[0]], seed=spec.param_seed)
+    for query in spec.read_queries:
+        out.read_params[query] = [gen.params_for(query) for _ in range(spec.draws)]
+    slots = (spec.warmup + spec.repeats) * spec.draws
+    for query in spec.update_queries:
+        out.update_params[query] = [gen.params_for(query) for _ in range(slots)]
+    return out

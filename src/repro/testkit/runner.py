@@ -15,6 +15,7 @@ so dashboards can watch long-running fuzz campaigns.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,6 +55,7 @@ class FuzzFailure:
     mismatches: list[str]
     entry: CorpusEntry | None = None
     path: Path | None = None
+    flight_path: Path | None = None  # per-engine flight-recorder dumps
 
 
 @dataclass
@@ -167,7 +169,7 @@ def run_fuzz(
                 counters["mismatches_total"].inc(len(mismatches))
                 failure = _archive(
                     config, iteration, query, spec, updates, mismatches,
-                    oracle_factory, emit,
+                    oracle_factory, emit, oracle=oracle,
                 )
                 report.failures.append(failure)
                 if failure.path is not None:
@@ -180,6 +182,17 @@ def run_fuzz(
     return report
 
 
+def _flight_dumps(oracle) -> dict[str, Any]:
+    """Every oracle engine's flight-recorder dump (engines without one —
+    e.g. the Volcano baseline — are skipped)."""
+    dumps: dict[str, Any] = {}
+    for name, engine in getattr(oracle, "engines", {}).items():
+        flight = getattr(engine, "flight", None)
+        if flight is not None:
+            dumps[name] = flight.dump()
+    return dumps
+
+
 def _archive(
     config: FuzzConfig,
     iteration: int,
@@ -189,6 +202,7 @@ def _archive(
     mismatches,
     oracle_factory,
     emit,
+    oracle=None,
 ) -> FuzzFailure:
     """Shrink a failure and (when a corpus dir is set) write the entry."""
     emit(
@@ -213,13 +227,27 @@ def _archive(
     entry = make_entry(
         s_query, s_spec, mismatches, updates=s_updates, seed=config.seed
     )
+    flight_path = None
     if config.corpus_dir is not None:
         path = save_entry(entry, config.corpus_dir)
         emit(f"  archived {path}")
+        # Flight-recorder dumps of the engines that disagreed, under a
+        # subdirectory so corpus loaders (glob *.json, non-recursive)
+        # never mistake them for repro entries.
+        dumps = _flight_dumps(oracle) if oracle is not None else {}
+        if dumps:
+            flight_dir = Path(config.corpus_dir) / "flightrec"
+            flight_dir.mkdir(parents=True, exist_ok=True)
+            flight_path = flight_dir / f"{entry.name}.json"
+            flight_path.write_text(
+                json.dumps(dumps, indent=2, sort_keys=True, default=str) + "\n"
+            )
+            emit(f"  flight recorder: {flight_path}")
     return FuzzFailure(
         iteration=iteration,
         query=query.describe(),
         mismatches=[str(m) for m in mismatches],
         entry=entry,
         path=path,
+        flight_path=flight_path,
     )

@@ -107,3 +107,37 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main(["query", "--scale", "SF1", "--variant", "Volcano",
                       "MATCH (p:Person) RETURN count(*) AS n"])
+
+    def test_profile_text(self, capsys):
+        assert cli_main(["profile", "IC5", "--scale", "SF1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+
+    def test_profile_json_is_the_flight_recorder_serialization(self, capsys):
+        import json
+
+        from repro.obs.export import SPAN_TREE_SCHEMA_VERSION
+
+        assert cli_main(
+            ["profile", "IC5", "--scale", "SF1", "--format", "json",
+             "--variant", "all"]
+        ) == 0
+        profiles = json.loads(capsys.readouterr().out)
+        assert len(profiles) == 3  # one per paper variant
+        for profile in profiles:
+            assert profile["schema_version"] == SPAN_TREE_SCHEMA_VERSION
+            assert profile["query"] == "IC5"
+            root = profile["root"]
+            assert root["name"] == "query"
+            assert root["seconds"] > 0
+            assert root["children"], "span tree must have operator spans"
+
+    def test_profile_json_raw_cypher(self, capsys):
+        import json
+
+        assert cli_main(
+            ["profile", "MATCH (p:Person) RETURN count(*) AS n",
+             "--scale", "SF1", "--format", "json"]
+        ) == 0
+        [profile] = json.loads(capsys.readouterr().out)
+        assert profile["root"]["attrs"]["rows"] == 1

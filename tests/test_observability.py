@@ -118,6 +118,91 @@ class TestHistogram:
             Histogram(growth=1.0)
 
 
+class TestHistogramEdgeCases:
+    """The corner inputs a latency histogram actually meets in production:
+    zero durations (clock quantization), negative values (clock skew),
+    +inf (a deadline sentinel), NaN (a bug upstream), and observations
+    landing exactly on bucket boundaries."""
+
+    def test_observe_zero(self):
+        h = Histogram()
+        h.observe(0.0)
+        assert h.count == 1
+        assert h.min == 0.0
+        # Clamping pins every percentile of a lone zero to exactly zero.
+        for pct in (0, 50, 99, 100):
+            assert h.percentile(pct) == 0.0
+
+    def test_observe_negative(self):
+        h = Histogram()
+        h.observe(-0.5)
+        # A lone negative reports itself exactly (clamped to min == max).
+        assert h.percentile(50) == -0.5
+        h.observe(1.0)
+        assert h.min == -0.5
+        # Bucket 0 cannot locate a negative beyond "at most its bound",
+        # but estimates stay ordered and inside the observed range.
+        assert -0.5 <= h.percentile(0) <= h.percentile(100) == 1.0
+
+    def test_observe_inf_lands_in_overflow_bucket(self):
+        h = Histogram()
+        h.observe(0.001)
+        h.observe(math.inf)
+        assert h.count == 2
+        assert h.max == math.inf
+        assert math.inf in h._counts
+        # The overflow bucket has no finite upper bound to interpolate
+        # inside, so its percentiles report the observed max.
+        assert h.percentile(99) == math.inf
+        # The finite observation reports within its bucket's width.
+        assert h.percentile(25) == pytest.approx(0.001, rel=0.05)
+        bounds = [bound for bound, _ in h.cumulative_buckets()]
+        assert bounds[-1] == math.inf
+
+    def test_observe_nan_is_rejected(self):
+        h = Histogram()
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(math.nan)
+        assert h.count == 0  # the rejected value left no trace
+
+    def test_percentile_on_empty_histogram(self):
+        h = Histogram()
+        for pct in (0, 50, 95, 100):
+            assert math.isnan(h.percentile(pct))
+
+    def test_bucket_boundary_determinism(self):
+        # lowest * growth**k is exactly representable for powers of two,
+        # but log() can land an epsilon off k; every boundary value must
+        # fall in one deterministic bucket (the one it upper-bounds).
+        h = Histogram(lowest=1e-6, growth=2.0)
+        for k in range(1, 40):
+            boundary = h.upper_bound(k)
+            assert h._bucket_of(boundary) == k, f"boundary of bucket {k}"
+            # An epsilon above the bound belongs to the next bucket.
+            assert h._bucket_of(boundary * (1 + 1e-12)) == k + 1
+
+    def test_boundary_observation_counts_once_in_one_bucket(self):
+        h = Histogram(lowest=1e-6, growth=2.0)
+        boundary = h.upper_bound(10)
+        for _ in range(100):
+            h.observe(boundary)
+        assert h._counts == {10: 100}
+
+    def test_inf_survives_prometheus_export(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("edge_seconds")
+        h.observe(0.001)
+        h.observe(math.inf)
+        text = prometheus_text(reg)
+        # The overflow bucket folds into the single trailing +Inf series —
+        # exactly one +Inf line, counting every observation.
+        inf_lines = [
+            line for line in text.splitlines()
+            if line.startswith("edge_seconds_bucket") and "+Inf" in line
+        ]
+        assert inf_lines == ['edge_seconds_bucket{le="+Inf"} 2']
+
+
 class TestRegistry:
     def test_same_labels_same_instrument(self):
         reg = MetricsRegistry()
@@ -155,6 +240,27 @@ class TestRegistry:
             if line.startswith("demo_seconds_bucket")
         ]
         assert counts == sorted(counts)
+
+    def test_label_value_escaping(self):
+        # Prometheus text exposition: backslash, double quote, and line
+        # feed in label values must be escaped (in that order — the
+        # backslash pass must not re-escape its own output).
+        reg = MetricsRegistry()
+        reg.counter("esc_total", query='MATCH (p) WHERE p.name = "x\\y"\nRETURN p').inc()
+        text = prometheus_text(reg)
+        assert (
+            'esc_total{query="MATCH (p) WHERE p.name = \\"x\\\\y\\"\\nRETURN p"} 1.0'
+            in text
+        )
+        # Escaping keeps the exposition one-line-per-sample parseable.
+        for line in text.splitlines():
+            assert re.fullmatch(r"(# .*|[^\n]*)", line)
+            assert "\n" not in line
+
+    def test_plain_label_values_are_untouched(self):
+        reg = MetricsRegistry()
+        reg.counter("plain_total", variant="GES_f*").inc()
+        assert 'plain_total{variant="GES_f*"} 1.0' in prometheus_text(reg)
 
     def test_json_export_round_trips(self):
         reg = MetricsRegistry()

@@ -1,0 +1,385 @@
+"""Tests for the continuous-performance substrate (repro.perf).
+
+The decisive pair mirrors the regression gate's contract: two records of
+the same pinned workload on unchanged code must compare "unchanged" on
+every (variant, query) cell, while a deliberately injected 2x operator
+slowdown — a real busy-wait in the executor, not doctored numbers — must
+come back "regressed" with the affected query named.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    WORKLOADS,
+    TrajectoryError,
+    append_record,
+    compare_trajectory,
+    load_trajectory,
+    record_run,
+    render_report,
+    validate_record,
+)
+from repro.perf.gate import GateReport, compare_records, render_history
+from repro.perf.workload import MaterializedWorkload, materialize
+
+
+# -- one shared smoke recording session ------------------------------------------
+#
+# Recording is ~1s per record; the module records twice clean + once with
+# the injected slowdown and every gate test reads from those.
+
+
+@pytest.fixture(scope="module")
+def smoke_records():
+    clean_a = record_run("smoke")
+    clean_b = record_run("smoke")
+    slowed = record_run("smoke", inject_slowdowns={"Expand": 2.0})
+    return clean_a, clean_b, slowed
+
+
+# -- workload pinning ------------------------------------------------------------
+
+
+class TestWorkloadPinning:
+    def test_materialize_is_deterministic(self):
+        spec = WORKLOADS["smoke"]
+        a: MaterializedWorkload = materialize(spec)
+        b: MaterializedWorkload = materialize(spec)
+        assert a.read_params == b.read_params
+        assert a.update_params == b.update_params
+
+    def test_every_variant_gets_its_own_dataset(self):
+        work = materialize(WORKLOADS["smoke"])
+        stores = {id(ds.store) for ds in work.datasets.values()}
+        assert len(stores) == len(WORKLOADS["smoke"].variants)
+
+    def test_update_slots_cover_warmup_and_repeats(self):
+        spec = WORKLOADS["smoke"]
+        work = materialize(spec)
+        for query in spec.update_queries:
+            assert len(work.update_params[query]) == (
+                (spec.warmup + spec.repeats) * spec.draws
+            )
+            # Fresh-id draws must not collide across slots.
+            ids = [
+                json.dumps(p, sort_keys=True, default=str)
+                for p in work.update_params[query]
+            ]
+            assert len(set(ids)) == len(ids)
+
+    def test_updates_skip_volcano(self):
+        spec = WORKLOADS["smoke"]
+        assert "Volcano" in spec.variants_for("IC1")
+        assert "Volcano" not in spec.variants_for("IU1")
+
+    def test_identity_round_trips_through_json(self):
+        identity = WORKLOADS["full"].identity()
+        assert json.loads(json.dumps(identity)) == identity
+
+
+# -- the recorder ----------------------------------------------------------------
+
+
+class TestRecorder:
+    def test_record_is_schema_valid(self, smoke_records):
+        clean_a, _, slowed = smoke_records
+        validate_record(clean_a)
+        validate_record(slowed)
+
+    def test_record_shape(self, smoke_records):
+        record = smoke_records[0]
+        spec = WORKLOADS["smoke"]
+        assert record["workload"] == spec.identity()
+        assert set(record["variants"]) == set(spec.variants)
+        for query in spec.read_queries:
+            for variant in spec.variants:
+                stats = record["variants"][variant]["queries"][query]
+                assert stats["samples"] == spec.samples_per_query
+                assert stats["p50_ms"] > 0
+        # Updates measured on the GES variants only.
+        assert "IU1" in record["variants"]["GES"]["queries"]
+        assert "IU1" not in record["variants"]["Volcano"]["queries"]
+
+    def test_bookkeeping_per_variant(self, smoke_records):
+        record = smoke_records[0]
+        ges = record["variants"]["GES_f*"]
+        assert ges["ops_per_second"] > 0
+        assert 0 <= ges["plan_cache_hit_rate"] <= 1
+        assert ges["compression_ratio"] is not None
+        assert record["variants"]["Volcano"]["plan_cache_hit_rate"] is None
+
+    def test_injection_is_recorded_into_the_entry(self, smoke_records):
+        _, _, slowed = smoke_records
+        assert slowed["injected_slowdowns"] == {"Expand": 2.0}
+        assert smoke_records[0]["injected_slowdowns"] == {}
+
+    def test_machine_fingerprint_is_stable(self):
+        from repro.perf import machine_fingerprint
+
+        assert (
+            machine_fingerprint()["fingerprint"]
+            == machine_fingerprint()["fingerprint"]
+        )
+
+
+# -- the gate, on real measurements ----------------------------------------------
+
+
+class TestGateOnRealRuns:
+    def test_unchanged_code_compares_unchanged_everywhere(self, smoke_records):
+        clean_a, clean_b, _ = smoke_records
+        report = compare_records(clean_b, [clean_a])
+        assert not report.has_regressions
+        offenders = [v for v in report.verdicts if v.verdict != "unchanged"]
+        assert offenders == [], [str(v) for v in offenders]
+
+    def test_injected_slowdown_is_flagged_with_query_named(self, smoke_records):
+        clean_a, clean_b, slowed = smoke_records
+        report = compare_records(slowed, [clean_a, clean_b])
+        assert report.has_regressions
+        regressed = report.of("regressed")
+        # The busy-wait hits Expand, so Expand-heavy queries must be named.
+        assert {v.query for v in regressed} & {"IC1", "IC2", "IC5", "IC9"}
+        for verdict in regressed:
+            assert verdict.ratio > 1 + verdict.band
+            assert verdict.query in str(verdict)
+        assert any("injected slowdowns" in note for note in report.notes)
+
+
+# -- the gate, on synthetic records ----------------------------------------------
+
+
+def _synthetic(p50: float, mad: float = 0.0, name: str = "smoke", version: int = 1):
+    """A minimal gate-shaped record with one cell (GES/IC1)."""
+    return {
+        "workload": {"name": name, "version": version, "scale": "SF1"},
+        "machine": {"fingerprint": "feedface00000000"},
+        "injected_slowdowns": {},
+        "variants": {
+            "GES": {
+                "queries": {
+                    "IC1": {
+                        "samples": 6,
+                        "p50_ms": p50,
+                        "p95_ms": p50,
+                        "mean_ms": p50,
+                        "mad_ms": mad,
+                    }
+                }
+            }
+        },
+    }
+
+
+class TestGateSynthetic:
+    def test_band_floor_absorbs_small_drift(self):
+        report = compare_records(_synthetic(1.2), [_synthetic(1.0)])
+        (verdict,) = report.verdicts
+        assert verdict.verdict == "unchanged"
+        assert verdict.band == pytest.approx(0.30)
+
+    def test_regression_beyond_the_floor_is_flagged(self):
+        report = compare_records(_synthetic(2.0), [_synthetic(1.0)])
+        (verdict,) = report.verdicts
+        assert verdict.verdict == "regressed"
+        assert verdict.ratio == pytest.approx(2.0)
+
+    def test_improvement_is_symmetric(self):
+        report = compare_records(_synthetic(0.5), [_synthetic(1.0)])
+        assert report.verdicts[0].verdict == "improved"
+
+    def test_noisy_history_widens_the_band(self):
+        # rel MAD 0.1 on both sides -> band = 5.0 * 0.1 * 1.4826 ~ 0.74:
+        # a 1.6x shift inside that noise is NOT a regression.
+        report = compare_records(
+            _synthetic(1.6, mad=0.16), [_synthetic(1.0, mad=0.1)]
+        )
+        (verdict,) = report.verdicts
+        assert verdict.band == pytest.approx(5.0 * 0.1 * 1.4826)
+        assert verdict.verdict == "unchanged"
+
+    def test_sub_resolution_shifts_are_unchanged(self):
+        # 0.15 -> 0.26 ms is a 1.7x ratio but a 0.11 ms absolute shift:
+        # below min_effect_ms, so never a verdict either way.
+        report = compare_records(_synthetic(0.26), [_synthetic(0.15)])
+        assert report.verdicts[0].verdict == "unchanged"
+        report = compare_records(
+            _synthetic(0.26), [_synthetic(0.15)], min_effect_ms=0.0
+        )
+        assert report.verdicts[0].verdict == "regressed"
+
+    def test_one_freak_record_cannot_poison_the_band(self):
+        # Median dispersion: two tight records + one storm-era record
+        # still yield a tight band, so a genuine 2x is flagged.
+        report = compare_records(
+            _synthetic(2.0),
+            [_synthetic(1.0), _synthetic(1.0), _synthetic(1.0, mad=0.5)],
+        )
+        (verdict,) = report.verdicts
+        assert verdict.band == pytest.approx(0.30)
+        assert verdict.verdict == "regressed"
+
+    def test_center_is_median_of_history(self):
+        report = compare_records(
+            _synthetic(1.0),
+            [_synthetic(0.9), _synthetic(1.0), _synthetic(100.0)],
+        )
+        (verdict,) = report.verdicts
+        assert verdict.baseline_p50_ms == pytest.approx(1.0)
+        assert verdict.verdict == "unchanged"
+
+    def test_cross_version_baselines_are_skipped(self):
+        report = compare_records(
+            _synthetic(5.0), [_synthetic(1.0, version=2)]
+        )
+        assert report.baseline_count == 0
+        (verdict,) = report.verdicts
+        assert verdict.verdict == "new"
+        assert any("workload identity" in note for note in report.notes)
+
+    def test_machine_mismatch_is_noted_not_fatal(self):
+        other = _synthetic(1.0)
+        other["machine"]["fingerprint"] = "deadbeef00000000"
+        report = compare_records(_synthetic(1.0), [other])
+        assert any("fingerprint" in note for note in report.notes)
+        assert report.verdicts[0].verdict == "unchanged"
+
+    def test_compare_needs_two_records(self):
+        with pytest.raises(ValueError, match="at least two"):
+            compare_trajectory([_synthetic(1.0)])
+
+    def test_render_report_names_regressions(self):
+        report = compare_records(_synthetic(2.0), [_synthetic(1.0)])
+        text = render_report(report)
+        assert "REGRESSED" in text
+        assert "GES/IC1" in text
+
+    def test_summary_counts(self):
+        report = GateReport(workload="w", baseline_count=1)
+        assert "OK" in report.summary()
+
+
+# -- the trajectory file ---------------------------------------------------------
+
+
+class TestTrajectory:
+    def test_append_and_load_round_trip(self, tmp_path, smoke_records):
+        path = tmp_path / "traj.json"
+        append_record(smoke_records[0], path)
+        append_record(smoke_records[1], path)
+        records = load_trajectory(path)
+        assert len(records) == 2
+        assert records[0] == smoke_records[0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_trajectory(tmp_path / "absent.json") == []
+
+    def test_validation_rejects_garbage_with_a_path(self):
+        with pytest.raises(TrajectoryError, match="schema_version"):
+            validate_record({"workload": {}})
+        bad = _synthetic(1.0)
+        bad["schema_version"] = 1
+        bad["recorded_at"] = "t"
+        bad["git_sha"] = "s"
+        bad["elapsed_seconds"] = 0.1
+        bad["workload"].update(
+            seed=1, param_seed=1, warmup=1, repeats=1, draws=1,
+            read_queries=[], update_queries=[], variants=[],
+        )
+        del bad["variants"]["GES"]["queries"]["IC1"]["p50_ms"]
+        bad["variants"]["GES"]["ops_per_second"] = 1.0
+        bad["variants"]["GES"]["peak_fblock_bytes"] = 0
+        bad["variants"]["GES"]["plan_cache_hit_rate"] = None
+        bad["variants"]["GES"]["compression_ratio"] = None
+        with pytest.raises(TrajectoryError, match=r"variants\.GES\.queries\.IC1\.p50_ms"):
+            validate_record(bad)
+
+    def test_truncated_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text('{"schema_version": 1, "records": [')
+        with pytest.raises(TrajectoryError, match="not valid JSON"):
+            load_trajectory(path)
+
+    def test_append_refuses_invalid_record(self, tmp_path):
+        with pytest.raises(TrajectoryError):
+            append_record({"nope": True}, tmp_path / "traj.json")
+
+    def test_repo_trajectory_is_schema_valid(self):
+        # The committed BENCH_trajectory.json must always load cleanly.
+        records = load_trajectory()
+        assert len(records) >= 1
+
+    def test_render_history_lists_records(self, tmp_path, smoke_records):
+        path = tmp_path / "traj.json"
+        append_record(smoke_records[0], path)
+        text = render_history(load_trajectory(path))
+        assert "smoke v2" in text
+        assert render_history([]).startswith("trajectory is empty")
+
+
+# -- the CLI ---------------------------------------------------------------------
+
+
+class TestPerfCli:
+    def _write(self, tmp_path, *records):
+        path = tmp_path / "traj.json"
+        payload = {"schema_version": 1, "records": list(records)}
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def _full_record(self, p50, mad=0.0):
+        record = _synthetic(p50, mad=mad)
+        record.update(
+            schema_version=1,
+            recorded_at="2026-01-01T00:00:00+00:00",
+            git_sha="cafe",
+            elapsed_seconds=0.5,
+        )
+        record["workload"].update(
+            seed=42, param_seed=1234, warmup=1, repeats=3, draws=2,
+            read_queries=["IC1"], update_queries=[], variants=["GES"],
+        )
+        record["variants"]["GES"].update(
+            ops_per_second=100.0,
+            plan_cache_hit_rate=0.9,
+            compression_ratio=2.0,
+            peak_fblock_bytes=1024,
+        )
+        return record
+
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        unchanged = self._write(
+            tmp_path, self._full_record(1.0), self._full_record(1.05)
+        )
+        assert main(["perf", "compare", "--trajectory", unchanged]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        regressed = self._write(
+            tmp_path, self._full_record(1.0), self._full_record(3.0)
+        )
+        assert main(["perf", "compare", "--trajectory", regressed]) == 1
+        assert "GES/IC1: regressed" in capsys.readouterr().out
+
+    def test_compare_on_short_trajectory_exits_with_message(self, tmp_path):
+        path = self._write(tmp_path, self._full_record(1.0))
+        with pytest.raises(SystemExit, match="at least two"):
+            main(["perf", "compare", "--trajectory", path])
+
+    def test_report_lists_history(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._full_record(1.0))
+        assert main(["perf", "report", "--trajectory", path]) == 0
+        assert "smoke v1" in capsys.readouterr().out
+
+    def test_record_rejects_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["perf", "record", "--workload", "nope"])
+
+    def test_record_rejects_bad_slowdown_spec(self):
+        with pytest.raises(SystemExit, match="OPERATOR=FACTOR"):
+            main(["perf", "record", "--workload", "smoke",
+                  "--inject-slowdown", "Expand"])
