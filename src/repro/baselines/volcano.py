@@ -25,6 +25,7 @@ from ..errors import ExecutionError
 from ..exec.base import ExecStats, QueryResult
 from ..obs.clock import now
 from ..exec.procedures import get_procedure
+from ..resilience.watchdog import Deadline, current_deadline, deadline_scope
 from ..plan.logical import (
     Aggregate,
     AggregateTopK,
@@ -86,6 +87,7 @@ class VolcanoEngine:
         params: Mapping[str, Any] | None = None,
         view: GraphReadView | None = None,
         stats: ExecStats | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         params = dict(params or {})
         stats = stats if stats is not None else ExecStats()
@@ -93,13 +95,17 @@ class VolcanoEngine:
         labels = resolve_labels(plan, view.schema)
         started = now()
         rows: list[Row] = []
-        for op in plan.ops:
-            op_start = now()
-            rows = _dispatch(rows, op, view, params, labels)
-            width = len(rows[0]) if rows else 0
-            stats.record_op(
-                op.op_name, now() - op_start, len(rows) * width * _VALUE_BYTES
-            )
+        explicit = Deadline.after(timeout) if timeout is not None else None
+        with deadline_scope(explicit) as deadline:
+            for op in plan.ops:
+                if deadline is not None:
+                    deadline.check()
+                op_start = now()
+                rows = _dispatch(rows, op, view, params, labels)
+                width = len(rows[0]) if rows else 0
+                stats.record_op(
+                    op.op_name, now() - op_start, len(rows) * width * _VALUE_BYTES
+                )
         stats.total_seconds += now() - started
         columns = plan.returns or (list(rows[0].keys()) if rows else [])
         # Normalize the int64 NULL sentinel to None at the result boundary,
@@ -200,8 +206,13 @@ def _expand(
 ) -> list[Row]:
     from_label = labels[op.from_var]
     keys = view.schema.expand_keys(op.edge_label, op.direction, from_label, op.to_label)
+    # Tuple-at-a-time expansion is the engine's long pole, so the ambient
+    # deadline is ticked per source tuple (strided), not just per operator.
+    deadline = current_deadline()
     out: list[Row] = []
     for row in rows:
+        if deadline is not None:
+            deadline.tick()
         source = row[op.from_var]
         matched = False
         if source is not None and source != NULL_INT:

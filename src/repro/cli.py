@@ -269,6 +269,50 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the deterministic fault-injection campaign.
+
+    Seeded transient faults fire inside the memory pool, lock manager,
+    plan cache, and executor while generated queries and update batches
+    run against a resilient engine; every answer is checked against a
+    fault-free reference run.  An injected fault must be retried,
+    degraded, or surfaced as a typed ``GesError`` — never a wrong answer,
+    never a raw exception.  ``--seeds N`` sweeps seeds ``seed..seed+N-1``.
+    """
+    from .testkit import ChaosConfig, PROFILES, run_chaos
+
+    if args.profile not in PROFILES:
+        raise SystemExit(
+            f"unknown profile {args.profile!r}; choose from {sorted(PROFILES)}"
+        )
+    failed = 0
+    for seed in range(args.seed, args.seed + max(1, args.seeds)):
+        config = ChaosConfig(
+            seed=seed,
+            iterations=args.iterations,
+            graphs=args.graphs,
+            profile=args.profile,
+            fault_probability=args.fault_probability,
+            stress_runs=args.stress_runs,
+            verbose=args.verbose,
+        )
+        report = run_chaos(config)
+        print(report.summary())
+        if args.verbose:
+            fired = ", ".join(
+                f"{site}={count}" for site, count in sorted(report.fired.items())
+            )
+            print(f"  fired by site: {fired or 'none'}")
+        if not report.passed:
+            failed += 1
+            for violation in report.violations[:10]:
+                print(f"  {violation}")
+    if args.seeds > 1:
+        status = "PASS" if failed == 0 else "FAIL"
+        print(f"{status}: {args.seeds - failed}/{args.seeds} seeds clean")
+    return 0 if failed == 0 else 1
+
+
 def _parse_slowdowns(specs: list[str] | None) -> dict[str, float]:
     """``--inject-slowdown Expand=2.0`` → ``{"Expand": 2.0}``."""
     factors: dict[str, float] = {}
@@ -471,6 +515,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--verbose", action="store_true", help="per-graph progress")
     fuzz.set_defaults(fn=cmd_fuzz)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection campaign with checked answers"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--seeds", type=int, default=1, help="sweep seed..seed+N-1")
+    chaos.add_argument("--iterations", type=int, default=100)
+    chaos.add_argument("--graphs", type=int, default=2)
+    chaos.add_argument(
+        "--profile", default="quick", help="graph size profile (quick/default/dense)"
+    )
+    chaos.add_argument(
+        "--fault-probability", type=float, default=0.05,
+        help="per-site probability an instrumented call fires a transient",
+    )
+    chaos.add_argument("--stress-runs", type=int, default=2)
+    chaos.add_argument("--verbose", action="store_true", help="per-site fire counts")
+    chaos.set_defaults(fn=cmd_chaos)
 
     perf = sub.add_parser(
         "perf", help="continuous-performance trajectory: record/compare/report"

@@ -29,6 +29,17 @@ class EngineConfig:
     metrics: bool = True  # engine-level instruments (repro.obs.metrics)
     flight_recorder: int = 64  # last-N query ring size (0 disables)
     slow_query_ms: float = 50.0  # pin queries slower than this in the slow ring
+    # --- resilience knobs (repro.resilience; all off by default except the
+    # --- degradation ladder, which only changes what happens on failure) ---
+    query_timeout_ms: float = 0.0  # per-query deadline (0 = unbounded)
+    max_concurrent_queries: int = 0  # admission concurrency limit (0 = off)
+    admission_queue_limit: int = 0  # bounded wait queue depth (0 = no queue)
+    admission_queue_timeout_ms: float = 100.0  # max wait for an admission slot
+    memory_budget_bytes: int = 0  # estimated-memory admission budget (0 = off)
+    retry_attempts: int = 0  # total attempts for retryable errors (0/1 = off)
+    retry_backoff_ms: float = 1.0  # base backoff before the first retry
+    retry_seed: int = 0  # seed for deterministic retry jitter
+    degrade: bool = True  # graceful degradation ladder (executor fallback, …)
 
     @classmethod
     def ges(
@@ -39,6 +50,7 @@ class EngineConfig:
         metrics: bool = True,
         flight_recorder: int = 64,
         slow_query_ms: float = 50.0,
+        **knobs,
     ) -> "EngineConfig":
         """The flat baseline variant (paper: GES)."""
         return cls(
@@ -52,6 +64,7 @@ class EngineConfig:
             metrics=metrics,
             flight_recorder=flight_recorder,
             slow_query_ms=slow_query_ms,
+            **knobs,
         )
 
     @classmethod
@@ -63,6 +76,7 @@ class EngineConfig:
         metrics: bool = True,
         flight_recorder: int = 64,
         slow_query_ms: float = 50.0,
+        **knobs,
     ) -> "EngineConfig":
         """The factorized variant without fusion (paper: GES_f)."""
         return cls(
@@ -75,6 +89,7 @@ class EngineConfig:
             metrics=metrics,
             flight_recorder=flight_recorder,
             slow_query_ms=slow_query_ms,
+            **knobs,
         )
 
     @classmethod
@@ -86,6 +101,7 @@ class EngineConfig:
         metrics: bool = True,
         flight_recorder: int = 64,
         slow_query_ms: float = 50.0,
+        **knobs,
     ) -> "EngineConfig":
         """The factorized variant with operator fusion (paper: GES_f*)."""
         return cls(
@@ -98,6 +114,7 @@ class EngineConfig:
             metrics=metrics,
             flight_recorder=flight_recorder,
             slow_query_ms=slow_query_ms,
+            **knobs,
         )
 
 

@@ -35,6 +35,7 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from ..resilience import faults
 from ..plan.expressions import Expr, Lit
 from ..plan.logical import AggSpec, LogicalOp, LogicalPlan
 from ..storage.catalog import Direction
@@ -158,7 +159,14 @@ class PlanCache:
         return len(self._entries)
 
     def lookup(self, key: Hashable) -> LogicalPlan | None:
-        """The cached physical plan for *key*, refreshing its LRU position."""
+        """The cached physical plan for *key*, refreshing its LRU position.
+
+        Fault site ``plan_cache.lookup``: an injected failure here raises
+        ``TransientError``, which the service degrades to an uncached
+        compile (the cache is an optimization, never required).
+        """
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("plan_cache.lookup")
         plan = self._entries.get(key)
         if plan is None:
             self.stats.misses += 1

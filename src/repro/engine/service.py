@@ -22,12 +22,19 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from typing import Callable, TypeVar
+
+from ..errors import AdmissionRejected, GesError, QueryTimeout
 from ..exec.base import ExecStats, QueryResult
 from ..obs.clock import now
 from ..obs.flightrec import FlightRecorder
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import Span
 from ..plan.logical import LogicalPlan
+from ..resilience.admission import AdmissionController
+from ..resilience.degrade import with_fallback
+from ..resilience.retry import RetryPolicy
+from ..resilience.watchdog import Deadline, pop_deadline, push_deadline
 from ..storage.catalog import GraphSchema
 from ..storage.graph import GraphReadView, GraphStore
 from ..storage.memory_pool import MemoryPool
@@ -35,6 +42,12 @@ from ..txn.transaction import Transaction, TransactionManager
 from .config import EngineConfig
 from .plan_cache import PlanCache, plan_fingerprint
 from .registry import ModuleRegistry, default_registry
+
+T = TypeVar("T")
+
+#: EWMA weight of the newest observation when updating the per-engine
+#: estimate of a query's peak intermediate footprint (admission control).
+_MEM_EWMA_ALPHA = 0.2
 
 
 class GraphEngineService:
@@ -70,6 +83,39 @@ class GraphEngineService:
             if self.config.flight_recorder > 0
             else None
         )
+        # Degradation ladder: a factorized executor gets the flat executor
+        # pre-resolved as its fallback rung (resolution is init-time; the
+        # query path only ever sees a bound callable or None).
+        self._fallback_execute = (
+            self.registry.resolve("execution", "executor", "flat")
+            if self.config.degrade and self.config.executor == "factorized"
+            else None
+        )
+        self.retry_policy: RetryPolicy | None = (
+            RetryPolicy(
+                attempts=self.config.retry_attempts,
+                backoff_ms=self.config.retry_backoff_ms,
+                seed=self.config.retry_seed,
+            )
+            if self.config.retry_attempts > 1
+            else None
+        )
+        pool_ref = self.txn_manager.pool
+        self.admission: AdmissionController | None = (
+            AdmissionController(
+                max_concurrent=self.config.max_concurrent_queries,
+                queue_limit=self.config.admission_queue_limit,
+                queue_timeout_ms=self.config.admission_queue_timeout_ms,
+                memory_budget_bytes=self.config.memory_budget_bytes,
+                pool_bytes=lambda: pool_ref.pooled_bytes,
+            )
+            if self.config.max_concurrent_queries > 0
+            or self.config.memory_budget_bytes > 0
+            else None
+        )
+        #: EWMA of observed peak intermediate bytes — the admission
+        #: controller's estimate of what the next query will need.
+        self._mem_ewma = 0.0
         self._init_metrics()
 
     def _init_metrics(self) -> None:
@@ -77,6 +123,10 @@ class GraphEngineService:
         so the per-query path touches pre-resolved objects only)."""
         if not self.config.metrics:
             self._m_queries = None
+            self._m_timeouts = None
+            self._m_rejections = None
+            self._m_retries = None
+            self._m_degraded = None
             return
         variant = self.config.name
         self._m_queries = REGISTRY.counter(
@@ -102,6 +152,26 @@ class GraphEngineService:
             "ges_compression_ratio",
             "Flat tuple count / f-Tree slot count at each flattening.",
             lowest=1e-3,
+            variant=variant,
+        )
+        self._m_timeouts = REGISTRY.counter(
+            "ges_query_timeouts_total",
+            "Queries cancelled by the watchdog deadline.",
+            variant=variant,
+        )
+        self._m_rejections = REGISTRY.counter(
+            "ges_admission_rejected_total",
+            "Queries refused by the admission controller.",
+            variant=variant,
+        )
+        self._m_retries = REGISTRY.counter(
+            "ges_retries_total",
+            "Re-attempts of retryable failures (aborts, lock timeouts, transients).",
+            variant=variant,
+        )
+        self._m_degraded = REGISTRY.counter(
+            "ges_degraded_queries",
+            "Queries answered a rung down the degradation ladder.",
             variant=variant,
         )
 
@@ -164,7 +234,16 @@ class GraphEngineService:
         started = now()
         key = self._cache_key(query)
         if key is not None:
-            cached = self.plan_cache.lookup(key)  # type: ignore[union-attr]
+            try:
+                cached = self.plan_cache.lookup(key)  # type: ignore[union-attr]
+            except GesError:
+                # Degradation ladder: a faulting plan cache costs one
+                # uncached compile, never the query.
+                if not self.config.degrade:
+                    raise
+                self._note_degraded(stats, "plan_cache")
+                key = None
+                cached = None
             if cached is not None:
                 if stats is not None:
                     stats.record_compile(now() - started, cache_hit=True)
@@ -206,6 +285,7 @@ class GraphEngineService:
         params: Mapping[str, Any] | None = None,
         view: GraphReadView | None = None,
         stats: ExecStats | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Run a query and return its rows plus execution statistics.
 
@@ -217,11 +297,68 @@ class GraphEngineService:
         *stats*, as :meth:`explain_analyze` does) the call records a span
         tree; engine-level metrics are updated either way when
         ``config.metrics`` is on.
+
+        The resilience layer wraps the call when configured: admission
+        control outermost (``AdmissionRejected`` on overload), then the
+        watchdog deadline (*timeout* seconds, defaulting to
+        ``config.query_timeout_ms``; ``QueryTimeout`` on expiry), then the
+        retry policy for retryable failures.  With everything at its
+        defaults the fast path below is unchanged.
         """
         if stats is None:
             stats = ExecStats()
         if self.config.tracing and stats.trace is None:
             stats.begin_trace()
+        timeout_s = timeout
+        if timeout_s is None and self.config.query_timeout_ms > 0:
+            timeout_s = self.config.query_timeout_ms / 1e3
+        if (
+            timeout_s is None
+            and self.retry_policy is None
+            and self.admission is None
+        ):
+            return self._execute_guarded(query, params, view, stats)
+        deadline = (
+            Deadline.after(timeout_s) if timeout_s is not None else None
+        )
+        admission = self.admission
+        estimate = 0
+        prev, effective = push_deadline(deadline)
+        try:
+            if admission is not None:
+                estimate = self._mem_estimate()
+                admission._acquire(estimate)
+            try:
+                if self.retry_policy is None:
+                    return self._execute_guarded(query, params, view, stats)
+                return self.retry_policy.run(
+                    lambda: self._execute_guarded(query, params, view, stats),
+                    deadline=effective,
+                    on_retry=self._count_retry,
+                )
+            finally:
+                if admission is not None:
+                    admission._release(estimate)
+        except QueryTimeout:
+            if self._m_timeouts is not None:
+                self._m_timeouts.inc()
+            raise
+        except AdmissionRejected:
+            if self._m_rejections is not None:
+                self._m_rejections.inc()
+            raise
+        finally:
+            pop_deadline(prev)
+
+    def _execute_guarded(
+        self,
+        query: str | LogicalPlan,
+        params: Mapping[str, Any] | None,
+        view: GraphReadView | None,
+        stats: ExecStats,
+    ) -> QueryResult:
+        """One execution attempt: compile, execute (with the degradation
+        ladder's executor fallback), record metrics and the flight entry."""
         started = now()
         measured = self._m_queries is not None
         if measured:
@@ -233,7 +370,16 @@ class GraphEngineService:
         physical = self.plan(query, stats=stats)
         if view is None:
             view = self.read_view()
-        result = self._execute(physical, view, params, stats)
+        if self._fallback_execute is None:
+            result = self._execute(physical, view, params, stats)
+        else:
+            result = with_fallback(
+                lambda: self._execute(physical, view, params, stats),
+                lambda: self._fallback_execute(physical, view, params, stats),
+                on_degrade=lambda exc: self._note_degraded(
+                    stats, f"executor:{type(exc).__name__}"
+                ),
+            )
         if stats.trace is not None:
             stats.trace.touch()
             stats.trace.root.attrs["rows"] = len(result)
@@ -260,7 +406,25 @@ class GraphEngineService:
                 stats=stats,
                 metrics_snapshot=self._metrics_snapshot(),
             )
+        self._mem_ewma += _MEM_EWMA_ALPHA * (
+            stats.peak_intermediate_bytes - self._mem_ewma
+        )
         return result
+
+    def _mem_estimate(self) -> int:
+        """Estimated peak intermediate footprint of the next query (EWMA of
+        what this engine has observed so far; 0 until the first query)."""
+        return int(self._mem_ewma)
+
+    def _note_degraded(self, stats: ExecStats | None, reason: str) -> None:
+        if stats is not None:
+            stats.note_degrade(reason)
+        if self._m_degraded is not None:
+            self._m_degraded.inc()
+
+    def _count_retry(self, _attempt: int, _exc: BaseException) -> None:
+        if self._m_retries is not None:
+            self._m_retries.inc()
 
     def _metrics_snapshot(self) -> dict[str, float] | None:
         """Cheap point-in-time read of this engine's pre-bound counters
@@ -344,6 +508,32 @@ class GraphEngineService:
         """Begin a write transaction (MV2PL; see :mod:`repro.txn`)."""
         return self.txn_manager.begin()
 
+    def with_transaction(self, fn: Callable[[Transaction], T]) -> T:
+        """Run ``fn(txn)`` in a fresh transaction and commit it.
+
+        On a retryable failure (``TransactionAborted`` / ``LockTimeout`` /
+        injected transient) the whole unit — begin, stage, commit — is
+        re-attempted under the engine's retry policy; each attempt gets a
+        *fresh* transaction, so partial staging from a failed attempt can
+        never leak into the next.  Without a retry policy this is plain
+        transactional sugar.
+        """
+
+        def attempt() -> T:
+            txn = self.transaction()
+            try:
+                out = fn(txn)
+                txn.commit()
+                return out
+            except BaseException:
+                if not txn.done:
+                    txn.abort()
+                raise
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.run(attempt, on_retry=self._count_retry)
+
     # -- introspection ---------------------------------------------------------------
 
     @property
@@ -375,6 +565,24 @@ class GraphEngineService:
                 if self.flight is not None
                 else {"enabled": False}
             ),
+            "resilience": {
+                "query_timeout_ms": self.config.query_timeout_ms,
+                "retry": (
+                    {
+                        "attempts": self.retry_policy.attempts,
+                        "backoff_ms": self.retry_policy.backoff_ms,
+                        "seed": self.retry_policy.seed,
+                    }
+                    if self.retry_policy is not None
+                    else {"enabled": False}
+                ),
+                "admission": (
+                    self.admission.describe()
+                    if self.admission is not None
+                    else {"enabled": False}
+                ),
+                "degrade": self.config.degrade,
+            },
             "modules": self.registry.describe(),
         }
 

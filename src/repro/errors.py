@@ -48,6 +48,18 @@ class LockTimeout(TransactionError):
     """A lock could not be acquired within the configured wait budget."""
 
 
+class QueryTimeout(GesError):
+    """The query exceeded its deadline and was cooperatively cancelled."""
+
+
+class AdmissionRejected(GesError):
+    """The service refused the query: concurrency/memory budget exhausted."""
+
+
+class TransientError(GesError):
+    """A retryable transient failure (injected fault or recoverable glitch)."""
+
+
 class CypherSyntaxError(GesError):
     """The Cypher frontend rejected the query text."""
 

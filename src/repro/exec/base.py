@@ -17,6 +17,8 @@ from ..core.flatblock import FlatBlock
 from ..errors import ExecutionError
 from ..obs.clock import now
 from ..obs.tracing import SpanTracer
+from ..resilience import faults
+from ..resilience.watchdog import current_deadline
 from ..storage.graph import GraphReadView
 from ..types import DataType
 
@@ -30,6 +32,9 @@ class ExecStats:
       per the paper's accounting note.
     * ``defactor_count`` — how often the executor had to fall back from the
       f-Tree to a flat block.
+    * ``degrade_count`` — how often the service stepped down a rung of the
+      resilience degradation ladder while answering this query (executor
+      fallback, uncached compile, …).
     * ``compile_seconds`` / ``stage_times`` — time the service spent turning
       query text or a logical plan into the physical pipeline, broken down
       by compile stage (``parse`` / ``bind`` / ``optimize``); lets the
@@ -51,6 +56,7 @@ class ExecStats:
         self.op_sequence: list[tuple[str, float, int]] = []
         self.peak_intermediate_bytes = 0
         self.defactor_count = 0
+        self.degrade_count = 0
         self.rows_out = 0
         self.total_seconds = 0.0
         self.compile_seconds = 0.0
@@ -87,6 +93,14 @@ class ExecStats:
         if self.trace is not None:
             attrs = self.trace.current.attrs
             attrs["defactor"] = attrs.get("defactor", 0) + 1
+
+    def note_degrade(self, reason: str) -> None:
+        """Account one step down the degradation ladder (and tag the span)."""
+        self.degrade_count += 1
+        if self.trace is not None:
+            attrs = self.trace.current.attrs
+            attrs["degraded"] = attrs.get("degraded", 0) + 1
+            attrs["degrade_reason"] = reason
 
     def note_compression(self, flat_tuples: int, ftree_slots: int) -> None:
         """Account one f-Tree flattening: tuples produced vs. slots held."""
@@ -140,6 +154,7 @@ class ExecStats:
             self.peak_intermediate_bytes, other.peak_intermediate_bytes
         )
         self.defactor_count += other.defactor_count
+        self.degrade_count += other.degrade_count
         self.rows_out += other.rows_out
         self.total_seconds += other.total_seconds
         self.compile_seconds += other.compile_seconds
@@ -210,6 +225,8 @@ class ExecutionContext:
         # Cached so hot paths pay one attribute read, not two, to decide
         # whether spans exist for this query.
         self.tracing = self.stats.trace is not None
+        # Ambient per-query deadline, captured once; None when unbounded.
+        self.deadline = current_deadline()
         self.var_labels: dict[str, str] = {}
 
     def label_of(self, var: str) -> str:
@@ -263,6 +280,14 @@ class OpTimer:
             self._span.attrs.update(attrs)
 
     def __enter__(self) -> "OpTimer":
+        # Operator boundaries are the coarse cancellation points: a query
+        # past its deadline stops before the next operator rather than
+        # running the pipeline to completion.
+        deadline = self.ctx.deadline
+        if deadline is not None:
+            deadline.check()
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("executor.operator")
         if self.ctx.tracing:
             self._span = self.ctx.stats.trace.begin(self.name)
         self._start = now()

@@ -19,6 +19,7 @@ from ..errors import ExecutionError
 from ..plan.logical import Expand
 from ..storage.catalog import AdjacencyKey
 from ..storage.graph import GraphReadView
+from ..resilience.watchdog import Deadline
 from ..types import DataType, NULL_INT
 from .base import ArraysResolver
 
@@ -96,12 +97,16 @@ def _single_hop_chunks(
     keys: list[AdjacencyKey],
     from_rows: np.ndarray,
     edge_props: Mapping[str, str],
+    deadline: Deadline | None = None,
 ) -> tuple[np.ndarray, list[np.ndarray], dict[str, list[np.ndarray]]]:
     """Per-source neighbor chunks plus aligned edge-property chunks."""
     counts = np.zeros(len(from_rows), dtype=np.int64)
     neighbor_chunks: list[np.ndarray] = []
     prop_chunks: dict[str, list[np.ndarray]] = {out: [] for out in edge_props}
     for i, row in enumerate(from_rows):
+        # Inline stride: a method call per row costs more than the check.
+        if deadline is not None and not i & 1023:
+            deadline.check()
         row = int(row)
         if row == NULL_INT:
             continue
@@ -127,7 +132,11 @@ def _single_hop_chunks(
 
 
 def _multi_hop_per_source(
-    view: GraphReadView, keys: list[AdjacencyKey], row: int, op: Expand
+    view: GraphReadView,
+    keys: list[AdjacencyKey],
+    row: int,
+    op: Expand,
+    deadline: Deadline | None = None,
 ) -> np.ndarray:
     """BFS from one source: distinct vertices at depth min_hops..max_hops.
 
@@ -144,7 +153,9 @@ def _multi_hop_per_source(
     collected: list[int] = []
     for depth in range(1, op.max_hops + 1):
         next_frontier: list[int] = []
-        for current in frontier:
+        for j, current in enumerate(frontier):
+            if deadline is not None and not j & 255:
+                deadline.check()
             for key in keys:
                 for neighbor in view.neighbors(key, current):
                     neighbor = int(neighbor)
@@ -201,13 +212,20 @@ def expand_batch(
     from_label: str,
     to_label: str,
     params: Mapping[str, Any],
+    deadline: Deadline | None = None,
 ) -> ExpandBatch:
-    """Expand every source row, applying pushed-down work along the way."""
+    """Expand every source row, applying pushed-down work along the way.
+
+    *deadline*, when given, is ticked at chunk boundaries (once per source
+    vertex, strided inside BFS frontiers) so a variable-length expansion —
+    the dominant cost of the long IC queries — cancels mid-flight instead
+    of finishing an already-doomed query.
+    """
     keys = resolve_expand_keys(view, op, from_label)
 
     if op.is_multi_hop:
         chunks = [
-            _multi_hop_per_source(view, keys, int(row), op)
+            _multi_hop_per_source(view, keys, int(row), op, deadline)
             if int(row) != NULL_INT
             else np.empty(0, dtype=np.int64)
             for row in from_rows
@@ -225,7 +243,7 @@ def expand_batch(
         batch = _vectorized_single_hop(view, keys[0], from_rows, op.edge_props)
     else:
         counts, neighbor_chunks, prop_chunks = _single_hop_chunks(
-            view, keys, from_rows, op.edge_props
+            view, keys, from_rows, op.edge_props, deadline
         )
         neighbors = (
             np.concatenate(neighbor_chunks)

@@ -336,7 +336,10 @@ def _factorized_expand(state: PipelineState, op: Expand, ctx: ExecutionContext) 
     # the shared expansion machinery.
     masked = from_values.copy()
     masked[~node.selection] = NULL_INT
-    batch = expand_batch(ctx.view, op, masked, from_label, to_label, ctx.params)
+    batch = expand_batch(
+        ctx.view, op, masked, from_label, to_label, ctx.params,
+        deadline=ctx.deadline,
+    )
     child_block = FBlock([Column(op.to_var, DataType.INT64, batch.neighbors)])
     for name, (dtype, values) in batch.extra.items():
         child_block.add_column(Column(name, dtype, values))
@@ -672,6 +675,21 @@ def _node_local_top_k(
     state.projection = None
 
 
+def _ticking(iterable, deadline):
+    """Wrap a tuple enumeration with strided deadline checks (chunk boundary)."""
+    if deadline is None:
+        return iterable
+
+    def gen():
+        # Inline stride: a tick() call per tuple would dominate the loop.
+        for i, item in enumerate(iterable):
+            if not i & 255:
+                deadline.check()
+            yield item
+
+    return gen()
+
+
 def _factorized_limit(state: PipelineState, n: int, ctx: ExecutionContext) -> None:
     """Take the first n tuples via constant-delay enumeration (Lemma 4.4)."""
     tree = state.tree
@@ -679,7 +697,10 @@ def _factorized_limit(state: PipelineState, n: int, ctx: ExecutionContext) -> No
     attrs = state.output_attrs()
     rows: list[tuple[Any, ...]] = []
     if n > 0:
-        for tup in tree.iter_tuples(attrs):
+        deadline = ctx.deadline
+        for i, tup in enumerate(tree.iter_tuples(attrs)):
+            if deadline is not None and not i & 255:
+                deadline.check()
             rows.append(tup)
             if len(rows) >= n:
                 break
@@ -733,7 +754,11 @@ def _fused_top_k(state: PipelineState, op: TopK, ctx: ExecutionContext) -> None:
     for name in names:
         if name not in attrs:
             attrs = attrs + [name]
-    top = heapq.nsmallest(op.n, tree.iter_tuples(attrs), key=_sort_key(op.keys, attrs))
+    top = heapq.nsmallest(
+        op.n,
+        _ticking(tree.iter_tuples(attrs), ctx.deadline),
+        key=_sort_key(op.keys, attrs),
+    )
     ctx.stats.note_bytes(state.nbytes + _stream_bytes(len(top), len(attrs)))
     state.tree = None
     state.flat = _rows_to_block(tree, attrs, top)
@@ -769,7 +794,10 @@ def _streaming_aggregate(
     positions = {name: i for i, name in enumerate(attrs)}
 
     accumulators: dict[tuple[Any, ...], list[Any]] = {}
-    for tup in tree.iter_tuples(attrs):
+    deadline = ctx.deadline
+    for i, tup in enumerate(tree.iter_tuples(attrs)):
+        if deadline is not None and not i & 255:
+            deadline.check()
         key = tuple(tup[positions[g]] for g in group_by)
         acc = accumulators.get(key)
         if acc is None:

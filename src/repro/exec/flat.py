@@ -154,7 +154,10 @@ def _expand(block: FlatBlock, op: Expand, ctx: ExecutionContext) -> FlatBlock:
     if op.is_multi_hop:
         return _expand_multi_hop(block, op, ctx, from_label, to_label)
     from_rows = block.array(op.from_var)
-    batch = expand_batch(ctx.view, op, from_rows, from_label, to_label, ctx.params)
+    batch = expand_batch(
+        ctx.view, op, from_rows, from_label, to_label, ctx.params,
+        deadline=ctx.deadline,
+    )
 
     out = FlatBlock()
     for name in block.schema:

@@ -22,18 +22,41 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..resilience.watchdog import current_deadline, deadline_scope
+
 
 def run_sequential(tasks: Sequence[Callable[[], Any]]) -> list[Any]:
-    """Run tasks one after another, returning their results in order."""
-    return [task() for task in tasks]
+    """Run tasks one after another, returning their results in order.
+
+    An ambient deadline (if one is installed) is checked between tasks, so
+    a multi-stage query past its budget stops at the next stage boundary.
+    """
+    deadline = current_deadline()
+    results = []
+    for task in tasks:
+        if deadline is not None:
+            deadline.check()
+        results.append(task())
+    return results
 
 
 def run_inter_query(tasks: Sequence[Callable[[], Any]], workers: int) -> list[Any]:
-    """Run independent queries on a thread pool (inter-query parallelism)."""
+    """Run independent queries on a thread pool (inter-query parallelism).
+
+    The caller's ambient deadline is re-installed on each worker thread
+    (deadlines are thread-local), so pooled queries inherit the submitting
+    query's budget instead of silently running unbounded.
+    """
     if workers <= 1:
         return run_sequential(tasks)
+    deadline = current_deadline()
+
+    def bounded(task: Callable[[], Any]) -> Any:
+        with deadline_scope(deadline):
+            return task()
+
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(task) for task in tasks]
+        futures = [pool.submit(bounded, task) for task in tasks]
         return [f.result() for f in futures]
 
 

@@ -17,9 +17,22 @@ from ...storage.graph import VertexRef
 from .common import register
 
 
-def _timed(stats: ExecStats, name: str, fn) -> list[tuple]:
+def _timed(
+    engine: GraphEngineService, stats: ExecStats, name: str, fn
+) -> list[tuple]:
+    """Run one update unit under the engine's retry policy (if any).
+
+    Each ``fn`` begins its own transaction and commits it, so a retry
+    re-runs the whole unit on a fresh transaction — a failed attempt's
+    staging can never leak into the next.  Retries count toward the
+    operation's measured service time, as they would in a real service.
+    """
+    policy = getattr(engine, "retry_policy", None)
     started = now()
-    fn()
+    if policy is None:
+        fn()
+    else:
+        policy.run(fn, on_retry=getattr(engine, "_count_retry", None))
     elapsed = now() - started
     stats.record_op(name, elapsed, 0)
     stats.total_seconds += elapsed
@@ -72,7 +85,7 @@ def iu1(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
             txn.add_edge("HAS_INTEREST", handle, VertexRef("Tag", int(tag_row)))
         txn.commit()
 
-    return _timed(stats, "IU1", apply)
+    return _timed(engine, stats, "IU1", apply)
 
 
 def _add_like(engine: GraphEngineService, params: dict[str, Any]) -> None:
@@ -89,13 +102,13 @@ def _add_like(engine: GraphEngineService, params: dict[str, Any]) -> None:
 @register("IU2", "IU", "add like to post")
 def iu2(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IU2: add like to post."""
-    return _timed(stats, "IU2", lambda: _add_like(engine, params))
+    return _timed(engine, stats, "IU2", lambda: _add_like(engine, params))
 
 
 @register("IU3", "IU", "add like to comment")
 def iu3(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) -> list[tuple]:
     """IU3: add like to comment."""
-    return _timed(stats, "IU3", lambda: _add_like(engine, params))
+    return _timed(engine, stats, "IU3", lambda: _add_like(engine, params))
 
 
 @register("IU4", "IU", "add forum")
@@ -116,7 +129,7 @@ def iu4(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
             txn.add_edge("HAS_TAG", handle, VertexRef("Tag", int(tag_row)))
         txn.commit()
 
-    return _timed(stats, "IU4", apply)
+    return _timed(engine, stats, "IU4", apply)
 
 
 @register("IU5", "IU", "add forum membership")
@@ -132,7 +145,7 @@ def iu5(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
         )
         txn.commit()
 
-    return _timed(stats, "IU5", apply)
+    return _timed(engine, stats, "IU5", apply)
 
 
 @register("IU6", "IU", "add post")
@@ -160,7 +173,7 @@ def iu6(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
             txn.add_edge("IS_LOCATED_IN", handle, VertexRef("Place", int(country_row)))
         txn.commit()
 
-    return _timed(stats, "IU6", apply)
+    return _timed(engine, stats, "IU6", apply)
 
 
 @register("IU7", "IU", "add comment")
@@ -183,7 +196,7 @@ def iu7(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
         txn.add_edge("REPLY_OF", handle, _message_ref(engine, params["replyToId"]))
         txn.commit()
 
-    return _timed(stats, "IU7", apply)
+    return _timed(engine, stats, "IU7", apply)
 
 
 @register("IU8", "IU", "add friendship")
@@ -199,4 +212,4 @@ def iu8(engine: GraphEngineService, params: dict[str, Any], stats: ExecStats) ->
         txn.add_edge("KNOWS", b, a, props)
         txn.commit()
 
-    return _timed(stats, "IU8", apply)
+    return _timed(engine, stats, "IU8", apply)

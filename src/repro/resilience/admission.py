@@ -1,0 +1,156 @@
+"""Admission control for the engine service.
+
+Production graph services protect themselves from overload by refusing
+work they cannot finish rather than letting every query pile up and slow
+all of them down.  :class:`AdmissionController` sits at the front of
+``GES.execute`` and enforces two budgets:
+
+* a **concurrent-query limit** — at most ``max_concurrent`` queries
+  in flight, with a bounded FIFO-ish wait queue (``queue_limit`` deep,
+  ``queue_timeout_ms`` per waiter) absorbing short bursts;
+* an **estimated-memory budget** — each admitted query reserves its
+  estimated peak intermediate footprint (the service feeds an EWMA of
+  observed ``peak_intermediate_bytes``, plus the live pool occupancy via
+  a ``pool_bytes`` callback backed by the memory-pool gauges) against
+  ``memory_budget_bytes``.
+
+Rejections are typed (:class:`~repro.errors.AdmissionRejected`) and
+counted per reason, so the LDBC driver can account them per-query and
+the chaos campaign can assert overload never turns into a raw exception
+or an unbounded pile-up.
+
+One query is always admissible: when nothing is in flight the controller
+admits regardless of budgets, so a single query larger than the memory
+budget degrades to "runs alone" instead of deadlocking the service.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+from ..errors import AdmissionRejected
+from ..obs.clock import now
+
+
+class AdmissionController:
+    """Concurrency + memory admission with bounded queueing."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 0,
+        queue_limit: int = 0,
+        queue_timeout_ms: float = 100.0,
+        memory_budget_bytes: int = 0,
+        pool_bytes: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.queue_timeout_ms = queue_timeout_ms
+        self.memory_budget_bytes = memory_budget_bytes
+        self._pool_bytes = pool_bytes
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self._reserved_bytes = 0
+        self.admitted = 0
+        self.queued = 0
+        self.rejected = {"queue_full": 0, "queue_timeout": 0, "memory": 0}
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_concurrent > 0 or self.memory_budget_bytes > 0
+
+    def _admissible(self, estimate_bytes: int) -> bool:
+        if self._inflight == 0:
+            return True  # an idle service always takes the next query
+        if self.max_concurrent and self._inflight >= self.max_concurrent:
+            return False
+        if self.memory_budget_bytes:
+            pool = self._pool_bytes() if self._pool_bytes is not None else 0
+            if self._reserved_bytes + estimate_bytes + pool > self.memory_budget_bytes:
+                return False
+        return True
+
+    @contextmanager
+    def admit(self, estimate_bytes: int = 0) -> Iterator[None]:
+        """Hold an admission slot (and memory reservation) for the block."""
+        self._acquire(estimate_bytes)
+        try:
+            yield
+        finally:
+            self._release(estimate_bytes)
+
+    def _acquire(self, estimate_bytes: int) -> None:
+        with self._cond:
+            if not self._admissible(estimate_bytes):
+                # A memory-budget violation with free concurrency slots will
+                # not clear by waiting a few ms (the footprint estimate does
+                # not shrink), so reject immediately rather than queue.
+                memory_bound = (
+                    not self.max_concurrent
+                    or self._inflight < self.max_concurrent
+                )
+                if memory_bound and self.memory_budget_bytes:
+                    self.rejected["memory"] += 1
+                    raise AdmissionRejected(
+                        f"estimated {estimate_bytes} B exceeds the remaining "
+                        f"memory budget ({self.memory_budget_bytes} B total)"
+                    )
+                if self.queue_limit <= 0 or self._waiting >= self.queue_limit:
+                    self.rejected["queue_full"] += 1
+                    raise AdmissionRejected(
+                        f"service saturated: {self._inflight} in flight, "
+                        f"{self._waiting}/{self.queue_limit} queued"
+                    )
+                self._waiting += 1
+                self.queued += 1
+                expires = now() + self.queue_timeout_ms / 1e3
+                try:
+                    while not self._admissible(estimate_bytes):
+                        remaining = expires - now()
+                        if remaining <= 0:
+                            self.rejected["queue_timeout"] += 1
+                            raise AdmissionRejected(
+                                f"queued {self.queue_timeout_ms:.0f} ms without "
+                                f"an admission slot"
+                            )
+                        self._cond.wait(remaining)
+                finally:
+                    self._waiting -= 1
+            self._inflight += 1
+            self._reserved_bytes += estimate_bytes
+            self.admitted += 1
+
+    def _release(self, estimate_bytes: int) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._reserved_bytes -= estimate_bytes
+            if self._waiting:
+                self._cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def describe(self) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "enabled": self.enabled,
+                "max_concurrent": self.max_concurrent,
+                "queue_limit": self.queue_limit,
+                "queue_timeout_ms": self.queue_timeout_ms,
+                "memory_budget_bytes": self.memory_budget_bytes,
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "reserved_bytes": self._reserved_bytes,
+                "admitted": self.admitted,
+                "queued": self.queued,
+                "rejected": dict(self.rejected),
+            }

@@ -1,0 +1,61 @@
+"""Graceful-degradation ladder.
+
+When a resilient component fails, the service steps down to a slower but
+simpler rung instead of failing the query:
+
+==============================  ========================================
+failure                          degraded rung
+==============================  ========================================
+factorized executor raises       re-execute on the flat executor
+plan-cache lookup/store faults   compile uncached
+memory-pool acquire faults       allocate directly (inside the pool)
+==============================  ========================================
+
+Each degradation is observable: the service bumps ``ges_degraded_queries``
+/ ``ExecStats.degrade_count`` and tags the active span, so a fleet that is
+quietly running de-optimized shows up on dashboards rather than only in
+latency tails.
+
+:func:`with_fallback` is the one rule of the ladder: try the primary; on
+a degradable :class:`~repro.errors.GesError` run the fallback; if the
+fallback *also* fails, re-raise the **original** error — the primary's
+error is the meaningful one, and keeping it stable preserves error-type
+contracts for callers (and the differential oracle's uniform-rejection
+check).  Timeouts and admission rejections never degrade: the first is a
+budget the fallback would also blow, the second never started work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+from ..errors import AdmissionRejected, GesError, QueryTimeout
+
+T = TypeVar("T")
+
+#: Errors that must propagate rather than trigger a slower retry of the
+#: same work: the budget (time or admission) is already spent.
+NON_DEGRADABLE = (QueryTimeout, AdmissionRejected)
+
+
+def with_fallback(
+    primary: Callable[[], T],
+    fallback: Optional[Callable[[], T]],
+    on_degrade: Optional[Callable[[GesError], None]] = None,
+) -> T:
+    """Run *primary*; on a degradable ``GesError`` run *fallback* instead."""
+    try:
+        return primary()
+    except NON_DEGRADABLE:
+        raise
+    except GesError as primary_error:
+        if fallback is None:
+            raise
+        if on_degrade is not None:
+            on_degrade(primary_error)
+        try:
+            return fallback()
+        except NON_DEGRADABLE:
+            raise
+        except GesError:
+            raise primary_error

@@ -1,0 +1,163 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultPlan` maps named *sites* — fixed choke points instrumented
+throughout the stack — to firing rules (probability per hit, or every Nth
+hit).  Each site draws from its own ``random.Random(f"{seed}:{site}")``
+stream, so whether a given hit fires depends only on the plan's seed and
+the site's hit ordinal: the same campaign seed replays the same faults,
+which is what makes chaos failures shrinkable and debuggable (the same
+principle that made the PR-3 stress harness useful).
+
+Instrumented sites (the catalog is also documented in DESIGN.md):
+
+========================  ====================================================
+site                      choke point
+========================  ====================================================
+``memory_pool.acquire``   :meth:`MemoryPool.acquire` — degraded in place to a
+                          direct allocation (never surfaces to the query)
+``locks.acquire``         start of :meth:`LockManager.acquire_all` — before
+                          any lock is taken, so a fired fault leaves the
+                          transaction clean and re-committable
+``plan_cache.lookup``     :meth:`PlanCache.lookup` — the service degrades to
+                          an uncached compile
+``snapshot.load``         :func:`repro.storage.io.load_graph` entry
+``executor.operator``     every operator boundary (``OpTimer.__enter__`` and
+                          the Volcano dispatch loop)
+========================  ====================================================
+
+Injection is process-global (module attribute ``ACTIVE``) so deep call
+sites need no plumbing; hot paths guard with ``if faults.ACTIVE is not
+None`` to keep the disabled cost at one attribute read.  Fired faults
+raise :class:`~repro.errors.TransientError` — a member of the retryable
+set — so the chaos campaign can assert that every injected fault is
+retried, degraded, or surfaced typed, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from ..errors import TransientError
+
+#: Catalog of instrumented sites (kept in sync with the table above).
+SITES = (
+    "memory_pool.acquire",
+    "locks.acquire",
+    "plan_cache.lookup",
+    "snapshot.load",
+    "executor.operator",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When a site fires: with *probability* per hit and/or every Nth hit.
+
+    ``max_fires`` bounds the total (0 = unlimited) so a test can inject
+    exactly one fault and assert exactly one recovery.
+    """
+
+    site: str
+    probability: float = 0.0
+    every_nth: int = 0
+    max_fires: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; known: {SITES}")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of fault rules plus hit/fire accounting."""
+
+    rules: Iterable[FaultRule] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rules: dict[str, FaultRule] = {}
+        for rule in self.rules:
+            if rule.site in self._rules:
+                raise ValueError(f"duplicate rule for site {rule.site!r}")
+            self._rules[rule.site] = rule
+        self._rngs = {
+            site: random.Random(f"{self.seed}:{site}") for site in self._rules
+        }
+        self._hits = {site: 0 for site in self._rules}
+        self._fired = {site: 0 for site in self._rules}
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        """Rewind all accounting and RNG streams to the just-built state.
+
+        A plan is mutable (hit counts and random streams advance as sites
+        fire), so reusing one across runs would make the second run diverge
+        from the first.  Harnesses that promise one-seed-one-execution
+        (:func:`~repro.testkit.stress.run_stress`) reset the plan up front.
+        """
+        with self._lock:
+            self._rngs = {
+                site: random.Random(f"{self.seed}:{site}") for site in self._rules
+            }
+            self._hits = {site: 0 for site in self._rules}
+            self._fired = {site: 0 for site in self._rules}
+
+    def fire(self, site: str) -> None:
+        """Record a hit at *site*; raise ``TransientError`` if the rule fires."""
+        rule = self._rules.get(site)
+        if rule is None:
+            return
+        with self._lock:
+            self._hits[site] += 1
+            if rule.max_fires and self._fired[site] >= rule.max_fires:
+                return
+            fires = False
+            if rule.every_nth and self._hits[site] % rule.every_nth == 0:
+                fires = True
+            elif rule.probability and self._rngs[site].random() < rule.probability:
+                fires = True
+            if not fires:
+                return
+            self._fired[site] += 1
+        raise TransientError(f"injected fault at {site}")
+
+    def total_fired(self) -> int:
+        with self._lock:
+            return sum(self._fired.values())
+
+    def summary(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                site: {"hits": self._hits[site], "fired": self._fired[site]}
+                for site in self._rules
+            }
+
+
+#: The process-global active plan; None disables injection entirely.
+#: Hot call sites guard on this attribute before calling :func:`maybe_fire`.
+ACTIVE: FaultPlan | None = None
+
+
+def maybe_fire(site: str) -> None:
+    """Fire *site* against the active plan, if any."""
+    plan = ACTIVE
+    if plan is not None:
+        plan.fire(site)
+
+
+@contextmanager
+def fault_scope(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
+    """Install *plan* as the active fault plan for the duration of the block."""
+    global ACTIVE
+    prev = ACTIVE
+    ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        ACTIVE = prev

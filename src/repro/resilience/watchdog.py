@@ -1,0 +1,127 @@
+"""Per-query deadlines with cooperative cancellation.
+
+A :class:`Deadline` is an absolute expiry on the engine's monotonic clock
+(:func:`repro.obs.clock.now`, the single time source for the whole repo).
+The service installs one ambient deadline per query via
+:func:`deadline_scope`; execution-layer code picks it up with
+:func:`current_deadline` — no operator signature has to change — and
+checks it at natural yield points:
+
+* operator boundaries (``OpTimer.__enter__`` in :mod:`repro.exec.base`,
+  the Volcano op loop in :mod:`repro.baselines.volcano`);
+* chunk boundaries inside long expansion loops
+  (:mod:`repro.exec.expand_util`), strided via :meth:`Deadline.tick` so
+  the clock is read once per N sources, not once per row.
+
+Cancellation is cooperative: a check past the expiry raises a typed
+:class:`~repro.errors.QueryTimeout` which unwinds through the executor's
+normal cleanup (``try/finally`` trace teardown, pool releases), so a
+timed-out query leaves no leaked pins or unbalanced pool state behind.
+
+Nested scopes resolve to the *sooner* expiry, so an outer service-level
+timeout still bounds a query that installs its own longer deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import QueryTimeout
+from ..obs.clock import now
+
+#: Default stride for :meth:`Deadline.tick` — one clock read per this many
+#: loop iterations keeps the check cost negligible on per-source loops.
+TICK_STRIDE = 64
+
+
+class Deadline:
+    """An absolute expiry with cheap cooperative checks."""
+
+    __slots__ = ("expires_at", "budget_seconds", "label", "_ticks")
+
+    def __init__(
+        self,
+        expires_at: float,
+        budget_seconds: float = 0.0,
+        label: str = "query",
+    ) -> None:
+        self.expires_at = expires_at
+        self.budget_seconds = budget_seconds
+        self.label = label
+        self._ticks = 0
+
+    @classmethod
+    def after(cls, seconds: float, label: str = "query") -> "Deadline":
+        """A deadline *seconds* from now on the engine clock."""
+        return cls(now() + seconds, budget_seconds=seconds, label=label)
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once expired)."""
+        return self.expires_at - now()
+
+    def expired(self) -> bool:
+        return now() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`QueryTimeout` if the deadline has passed."""
+        if now() >= self.expires_at:
+            budget_ms = self.budget_seconds * 1e3
+            raise QueryTimeout(
+                f"{self.label} exceeded its deadline "
+                f"(budget {budget_ms:.3f} ms)"
+            )
+
+    def tick(self, stride: int = TICK_STRIDE) -> None:
+        """Strided check for tight loops: reads the clock every *stride* calls."""
+        self._ticks += 1
+        if self._ticks % stride == 0:
+            self.check()
+
+
+_LOCAL = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline for this thread, or None when unbounded."""
+    return getattr(_LOCAL, "deadline", None)
+
+
+def push_deadline(
+    deadline: Deadline | None,
+) -> tuple[Deadline | None, Deadline | None]:
+    """Install *deadline*; returns ``(previous, effective)``.
+
+    The paired :func:`pop_deadline` restores ``previous``.  This is the
+    raw form of :func:`deadline_scope` for per-query hot paths where a
+    generator context manager is measurable overhead.
+    """
+    prev = getattr(_LOCAL, "deadline", None)
+    effective = deadline
+    if effective is None:
+        effective = prev
+    elif prev is not None and prev.expires_at < effective.expires_at:
+        effective = prev
+    _LOCAL.deadline = effective
+    return prev, effective
+
+
+def pop_deadline(prev: Deadline | None) -> None:
+    """Restore the deadline saved by :func:`push_deadline`."""
+    _LOCAL.deadline = prev
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Install *deadline* as the thread's ambient deadline.
+
+    Nesting keeps whichever deadline expires sooner, so an inner scope can
+    only tighten the budget, never extend it.  Passing None leaves any
+    outer deadline in force.
+    """
+    prev, effective = push_deadline(deadline)
+    try:
+        yield effective
+    finally:
+        pop_deadline(prev)

@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import StorageError
+from ..resilience import faults
 from ..types import DataType
 from .catalog import EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef
 from .graph import GraphStore
@@ -100,29 +101,69 @@ def save_graph(store: GraphStore, path: str | Path) -> Path:
     return path
 
 
+def _load_npz(file: Path) -> dict[str, np.ndarray]:
+    """Read every array of one ``.npz`` member file, failures typed.
+
+    A truncated, corrupt, or missing archive — and a malformed member
+    array inside one — surfaces as :class:`StorageError` naming the
+    offending file, not as a raw ``OSError``/``zipfile``/pickle error.
+    """
+    try:
+        with np.load(file, allow_pickle=True) as data:
+            return {name: data[name] for name in data.files}
+    except StorageError:
+        raise
+    except Exception as exc:
+        raise StorageError(f"corrupt or unreadable snapshot file {file}: {exc}") from exc
+
+
 def load_graph(path: str | Path) -> GraphStore:
-    """Rebuild a :class:`GraphStore` from a snapshot directory."""
+    """Rebuild a :class:`GraphStore` from a snapshot directory.
+
+    Every low-level failure mode — missing or malformed ``schema.json``,
+    truncated/corrupt/missing ``.npz`` files, archives missing their
+    required ``__src``/``__dst`` members — is wrapped into a
+    :class:`StorageError` carrying the offending file path, so callers
+    handle one typed error instead of raw ``json``/``numpy``/``OSError``
+    leakage.  Fault site ``snapshot.load`` covers the whole operation.
+    """
+    faults.maybe_fire("snapshot.load")
     path = Path(path)
     schema_file = path / "schema.json"
     if not schema_file.exists():
         raise StorageError(f"no snapshot at {path}")
-    with open(schema_file) as handle:
-        schema = _schema_from_dict(json.load(handle))
+    try:
+        with open(schema_file) as handle:
+            raw_schema = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"unreadable snapshot schema {schema_file}: {exc}") from exc
+    try:
+        schema = _schema_from_dict(raw_schema)
+    except StorageError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed snapshot schema {schema_file}: {exc}") from exc
     store = GraphStore(schema)
 
     for label in schema.vertex_labels:
-        with np.load(path / f"vertices_{label}.npz", allow_pickle=True) as data:
-            columns = {name: data[name] for name in data.files}
+        columns = _load_npz(path / f"vertices_{label}.npz")
         if columns:
             store.bulk_load_vertices(label, columns)
 
     for i, definition in enumerate(schema.iter_edge_definitions()):
-        with np.load(path / f"edges_{i}.npz", allow_pickle=True) as data:
-            src = data["__src"]
-            dst = data["__dst"]
-            props = {
-                name: data[name] for name in data.files if not name.startswith("__")
-            }
+        edge_file = path / f"edges_{i}.npz"
+        arrays = _load_npz(edge_file)
+        try:
+            src = arrays.pop("__src")
+            dst = arrays.pop("__dst")
+        except KeyError as exc:
+            raise StorageError(
+                f"snapshot file {edge_file} is missing required member {exc}"
+            ) from exc
+        props = {
+            name: array for name, array in arrays.items()
+            if not name.startswith("__")
+        }
         store.bulk_load_edges(
             definition.name, definition.src_label, definition.dst_label, src, dst,
             props or None,

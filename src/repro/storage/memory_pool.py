@@ -15,7 +15,9 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..errors import TransientError
 from ..obs.metrics import MetricsRegistry, REGISTRY
+from ..resilience import faults
 from ..types import DataType
 
 
@@ -37,15 +39,28 @@ class MemoryPool:
         self.hits = 0
         self.misses = 0
         self.releases = 0
+        self.direct_allocs = 0
 
     def acquire(self, n: int, dtype: DataType | np.dtype = DataType.INT64) -> np.ndarray:
         """A buffer with at least *n* elements (contents undefined).
 
         The returned array may be larger than requested; callers slice to
         the length they need.
+
+        Pool exhaustion (fault site ``memory_pool.acquire``) degrades in
+        place to a direct allocation — a pooled buffer is an optimization,
+        never a correctness requirement, so the failure stays invisible to
+        the query apart from the ``direct_allocs`` counter.
         """
         np_dtype = dtype.numpy_dtype if isinstance(dtype, DataType) else np.dtype(dtype)
         size = _size_class(n)
+        if faults.ACTIVE is not None:
+            try:
+                faults.ACTIVE.fire("memory_pool.acquire")
+            except TransientError:
+                with self._lock:
+                    self.direct_allocs += 1
+                return np.empty(size, dtype=np_dtype)
         bucket = (size, np_dtype.str)
         with self._lock:
             freelist = self._freelists[bucket]
@@ -71,6 +86,17 @@ class MemoryPool:
     def pooled_buffers(self) -> int:
         with self._lock:
             return sum(len(v) for v in self._freelists.values())
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Total bytes parked in the freelists (the admission controller's
+        view of how much memory the pool is already holding)."""
+        with self._lock:
+            return sum(
+                buffer.nbytes
+                for freelist in self._freelists.values()
+                for buffer in freelist
+            )
 
     @property
     def hit_rate(self) -> float:
@@ -101,6 +127,12 @@ class MemoryPool:
             "ges_memory_pool_hit_rate",
             "Fraction of acquires served from a freelist.",
             fn=lambda: self.hit_rate,
+            **labels,
+        )
+        registry.gauge(
+            "ges_memory_pool_bytes",
+            "Bytes currently parked in the pool's freelists.",
+            fn=lambda: self.pooled_bytes,
             **labels,
         )
 

@@ -19,9 +19,13 @@ Layout:
   the transaction layer with snapshot-isolation invariant checks;
 * :mod:`~repro.testkit.shrink` — ddmin-style failure minimizer;
 * :mod:`~repro.testkit.corpus` — corpus entry save/load/replay;
-* :mod:`~repro.testkit.runner` — the ``repro fuzz`` loop.
+* :mod:`~repro.testkit.runner` — the ``repro fuzz`` loop;
+* :mod:`~repro.testkit.chaos` — the ``repro chaos`` fault-injection
+  campaign (every injected fault is retried, degraded, or surfaced typed —
+  never a wrong answer, never a raw exception).
 """
 
+from .chaos import ChaosConfig, ChaosReport, ChaosViolation, run_chaos
 from .corpus import CorpusEntry, load_entries, replay_entry, save_entry
 from .graphgen import (
     PROFILES,
@@ -41,6 +45,9 @@ from .shrink import shrink_failure
 from .stress import StressConfig, StressReport, run_stress
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosViolation",
     "CorpusEntry",
     "DifferentialOracle",
     "FuzzConfig",
@@ -61,6 +68,7 @@ __all__ = [
     "load_entries",
     "random_graph_spec",
     "replay_entry",
+    "run_chaos",
     "run_fuzz",
     "run_stress",
     "save_entry",

@@ -32,6 +32,8 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from ..errors import LockTimeout, TransientError
+from ..resilience.faults import FaultPlan, fault_scope
 from ..storage.catalog import (
     Direction,
     EdgeLabelDef,
@@ -58,6 +60,12 @@ class StressConfig:
     base_vertices: int = 12
     gc: bool = True
     gc_rounds: int = 8
+    #: Seeded fault plan installed for the whole run (None = no injection).
+    #: Writers retry commits that fail with an injected transient or lock
+    #: timeout; a batch that exhausts its retries is aborted and *not*
+    #: folded into the model — never half-applied.
+    faults: FaultPlan | None = None
+    commit_attempts: int = 8
 
 
 @dataclass
@@ -69,6 +77,8 @@ class StressReport:
     gc_runs: int = 0
     gc_released: int = 0
     final_version: int = 0
+    fault_retries: int = 0
+    dropped_batches: int = 0
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -77,10 +87,16 @@ class StressReport:
 
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
+        injected = (
+            f", {self.fault_retries} fault retries"
+            f" ({self.dropped_batches} batches dropped)"
+            if self.fault_retries or self.dropped_batches
+            else ""
+        )
         return (
             f"{status}: {self.commits} commits, {self.reads} pinned reads, "
             f"{self.gc_runs} GC runs ({self.gc_released} pre-images released), "
-            f"{len(self.violations)} violations"
+            f"{len(self.violations)} violations{injected}"
         )
 
 
@@ -214,7 +230,24 @@ def run_stress(config: StressConfig | None = None) -> StressReport:
                     next_pk[0] += 1
                     new_vals.append(value)
             yield  # last interleaving point before the atomic commit
-            version = txn.commit()
+            version = None
+            for attempt in range(config.commit_attempts):
+                try:
+                    version = txn.commit()
+                    break
+                except (TransientError, LockTimeout):
+                    # An injected fault (or lock expiry) fires before any
+                    # lock is granted, so the transaction is still open,
+                    # holds nothing, and can simply be re-committed.
+                    report.fault_retries += 1
+                    yield  # back off by yielding the interleaving slot
+            if version is None:
+                # Retries exhausted: the batch is dropped whole — aborted,
+                # never folded into the model, never partially visible.
+                txn.abort()
+                report.dropped_batches += 1
+                yield
+                continue
             # Fold the batch into the model as one atomic state transition.
             for pair in adds:
                 model["edges"].add(pair)
@@ -261,12 +294,15 @@ def run_stress(config: StressConfig | None = None) -> StressReport:
         actors.append(collector())
 
     scheduler = random.Random(f"{config.seed}:scheduler")
-    while actors:
-        idx = scheduler.randrange(len(actors))
-        try:
-            next(actors[idx])
-        except StopIteration:
-            actors.pop(idx)
+    if config.faults is not None:
+        config.faults.reset()  # one seed = one interleaving, even on reuse
+    with fault_scope(config.faults):
+        while actors:
+            idx = scheduler.randrange(len(actors))
+            try:
+                next(actors[idx])
+            except StopIteration:
+                actors.pop(idx)
 
     report.final_version = manager.versions.current()
     return report

@@ -13,6 +13,7 @@ import threading
 from typing import Iterable
 
 from ..errors import LockTimeout
+from ..resilience import faults
 
 #: A lockable resource: (vertex label, row index).
 LockKey = tuple[str, int]
@@ -43,6 +44,11 @@ class LockManager:
         far and raises :class:`LockTimeout`.
         """
         timeout = self._default_timeout if timeout is None else timeout
+        # The fault site sits before the first lock is taken, so an
+        # injected failure behaves exactly like an immediate timeout: no
+        # lock held, the transaction still open and re-committable.
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("locks.acquire")
         ordered = sorted(set(keys))
         taken: list[LockKey] = []
         for key in ordered:

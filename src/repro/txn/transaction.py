@@ -190,6 +190,11 @@ class Transaction:
             self._held_locks = []
             self._done = True
 
+    @property
+    def done(self) -> bool:
+        """Whether this transaction already committed or aborted."""
+        return self._done
+
     def abort(self) -> None:
         """Discard staged mutations (nothing was applied yet)."""
         self.manager.locks.release_all(self._held_locks)
