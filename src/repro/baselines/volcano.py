@@ -18,14 +18,13 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Mapping
 
-import numpy as np
-
 from ..engine.config import EngineConfig
 from ..errors import ExecutionError
 from ..exec.base import ExecStats, QueryResult
 from ..obs.clock import now
 from ..exec.procedures import get_procedure
 from ..resilience.watchdog import Deadline, current_deadline, deadline_scope
+from ..plan.expressions import Cmp, Col
 from ..plan.logical import (
     Aggregate,
     AggregateTopK,
@@ -33,6 +32,7 @@ from ..plan.logical import (
     Distinct,
     Expand,
     Filter,
+    FilteredNodeScan,
     GetProperty,
     Limit,
     LogicalOp,
@@ -49,7 +49,7 @@ from ..plan.logical import (
 )
 from ..storage.graph import GraphReadView, GraphStore
 from ..txn.transaction import Transaction, TransactionManager
-from ..types import NULL_INT, is_null
+from ..types import is_null
 
 Row = dict[str, Any]
 
@@ -108,20 +108,10 @@ class VolcanoEngine:
                 )
         stats.total_seconds += now() - started
         columns = plan.returns or (list(rows[0].keys()) if rows else [])
-        # Normalize the int64 NULL sentinel to None at the result boundary,
-        # mirroring result_from_flat, so every engine surfaces one NULL
-        # representation.
-        out = [
-            tuple(
-                None
-                if isinstance(v, (int, np.integer))
-                and not isinstance(v, bool)
-                and int(v) == NULL_INT
-                else v
-                for v in (row[c] for c in columns)
-            )
-            for row in rows
-        ]
+        # NULLs are already Python None throughout the row pipeline — the
+        # storage layer surfaces validity natively, so no sentinel scrubbing
+        # happens at the result boundary.
+        out = [tuple(row[c] for c in columns) for row in rows]
         stats.rows_out = len(out)
         return QueryResult(columns, out, stats)
 
@@ -138,6 +128,16 @@ def _dispatch(
         return [{op.var: row}] if row is not None else []
     if isinstance(op, NodeScan):
         return [{op.var: int(r)} for r in view.all_rows(op.label)]
+    if isinstance(op, FilteredNodeScan):
+        # No zone maps here: the competitor architecture scans densely and
+        # re-checks the predicate one tuple at a time.
+        predicate = Cmp(op.cmp, Col(op.out), op.value)
+        out = []
+        for r in view.all_rows(op.label):
+            row = {op.var: int(r), op.out: view.get_property(op.label, int(r), op.prop)}
+            if predicate.eval_row(row, params):
+                out.append(row)
+        return out
     if isinstance(op, NodeByRows):
         return [{op.var: int(r)} for r in params[op.rows_param]]
     if isinstance(op, VertexExpand):
@@ -156,7 +156,7 @@ def _dispatch(
         out = []
         for row in rows:
             vertex = row[op.var]
-            if vertex is None or vertex == NULL_INT:
+            if vertex is None:
                 value = None
             else:
                 value = view.get_property(label, int(vertex), op.prop)
@@ -215,7 +215,7 @@ def _expand(
             deadline.tick()
         source = row[op.from_var]
         matched = False
-        if source is not None and source != NULL_INT:
+        if source is not None:
             for neighbor_row in _neighbors(view, keys, int(source), op, params):
                 out.append({**row, **neighbor_row})
                 matched = True
@@ -295,9 +295,9 @@ def _aggregate(
 def _eval_agg(agg: AggSpec, members: list[Row]) -> Any:
     if agg.fn == "count" and agg.arg is None:
         return len(members)
-    # NULLs are skipped whatever their representation (None from optional
-    # fills, the int64 sentinel, or a NaN float) — the same mask the
-    # block-based aggregation applies.
+    # NULLs (None from the validity-aware storage reads and optional fills,
+    # or a NaN float) are skipped — the same mask the block-based
+    # aggregation applies.
     values = [row[agg.arg] for row in members if not is_null(row.get(agg.arg))]
     if agg.fn == "count":
         return len(values)

@@ -1,9 +1,11 @@
 """Query-time columns: the Singleton unions stored inside f-Blocks.
 
-A :class:`Column` is an immutable, named, typed vector.  Every f-Block
+A :class:`Column` is an immutable, named, typed vector with an optional
+validity mask (NULL is a bit, never a sentinel value).  Every f-Block
 column implements the same tiny interface (``values`` / ``__len__`` /
 ``nbytes`` / ``dtype``) so the executor can mix eager NumPy-backed columns
-with the lazy pointer-based neighbor columns from :mod:`repro.core.lazy`.
+with the lazy pointer-based neighbor columns from :mod:`repro.core.lazy`;
+columns that can carry NULLs additionally expose ``validity()``.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from typing import Any, Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..storage.validity import pack_values
 from ..types import DataType, infer_data_type
 
 
@@ -34,18 +37,51 @@ class ColumnLike(Protocol):
         ...
 
 
+def column_validity(column: Any) -> np.ndarray | None:
+    """Validity mask of any column-like object (None = all valid).
+
+    Columns without a ``validity`` method — e.g. lazy neighbor columns,
+    which can never hold NULLs — are treated as all-valid.
+    """
+    accessor = getattr(column, "validity", None)
+    if callable(accessor):
+        return accessor()
+    return None
+
+
+def normalize_validity(
+    validity: np.ndarray | list | None, length: int
+) -> np.ndarray | None:
+    """Canonical form: a bool array with at least one False, else None."""
+    if validity is None:
+        return None
+    mask = np.asarray(validity, dtype=bool)
+    if len(mask) != length:
+        raise ValueError(f"validity length {len(mask)} != column length {length}")
+    if mask.all():
+        return None
+    return mask
+
+
 class Column:
     """An eager, immutable column backed by a NumPy array."""
 
-    __slots__ = ("name", "dtype", "_data", "_payload")
+    __slots__ = ("name", "dtype", "_data", "_validity", "_payload")
 
-    def __init__(self, name: str, dtype: DataType, data: np.ndarray | list) -> None:
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        data: np.ndarray | list,
+        validity: np.ndarray | None = None,
+    ) -> None:
         self.name = name
         self.dtype = dtype
         array = np.asarray(data, dtype=dtype.numpy_dtype)
         if array.ndim != 1:
             raise ValueError(f"column {name!r} must be one-dimensional")
         self._data = array
+        self._validity = normalize_validity(validity, len(array))
         self._payload = string_payload_bytes(array) if dtype is DataType.STRING else 0
 
     def __len__(self) -> int:
@@ -54,21 +90,29 @@ class Column:
     def values(self) -> np.ndarray:
         return self._data
 
+    def validity(self) -> np.ndarray | None:
+        """Validity bits (True = value present); None when all valid."""
+        return self._validity
+
     @property
     def nbytes(self) -> int:
         """Columnar footprint: raw array plus string payload bytes."""
-        return int(self._data.nbytes) + self._payload
+        validity = 0 if self._validity is None else int(self._validity.nbytes)
+        return int(self._data.nbytes) + self._payload + validity
 
     def get(self, i: int) -> Any:
+        if self._validity is not None and not self._validity[i]:
+            return None
         value = self._data[i]
         return value.item() if isinstance(value, np.generic) else value
 
     def take(self, indices: np.ndarray, name: str | None = None) -> "Column":
         """New column gathering *indices* (the de-factoring primitive)."""
-        return Column(name or self.name, self.dtype, self._data[indices])
+        validity = None if self._validity is None else self._validity[indices]
+        return Column(name or self.name, self.dtype, self._data[indices], validity)
 
     def renamed(self, name: str) -> "Column":
-        return Column(name, self.dtype, self._data)
+        return Column(name, self.dtype, self._data, self._validity)
 
     def __repr__(self) -> str:
         return f"Column({self.name!r}, {self.dtype.value}, n={len(self)})"
@@ -82,7 +126,8 @@ class Column:
             if value is not None:
                 dtype = infer_data_type(value)
                 break
-        return cls(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+        data, validity = pack_values(values, dtype)
+        return cls(name, dtype, data, validity)
 
 
 def concat_columns(name: str, dtype: DataType, parts: list[np.ndarray]) -> Column:
@@ -90,6 +135,27 @@ def concat_columns(name: str, dtype: DataType, parts: list[np.ndarray]) -> Colum
     if not parts:
         return Column(name, dtype, np.empty(0, dtype=dtype.numpy_dtype))
     return Column(name, dtype, np.concatenate(parts))
+
+
+def concat_columns_with_validity(
+    name: str,
+    dtype: DataType,
+    parts: list[np.ndarray],
+    validities: list[np.ndarray | None],
+) -> Column:
+    """Concatenate array chunks and their validity masks into one column."""
+    if not parts:
+        return Column(name, dtype, np.empty(0, dtype=dtype.numpy_dtype))
+    if any(v is not None for v in validities):
+        merged = np.concatenate(
+            [
+                np.ones(len(part), dtype=bool) if valid is None else valid
+                for part, valid in zip(parts, validities)
+            ]
+        )
+    else:
+        merged = None
+    return Column(name, dtype, np.concatenate(parts), merged)
 
 
 def string_payload_bytes(values: np.ndarray) -> int:

@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .column import column_validity
 from .flatblock import FlatBlock
 from .ftree import FTree, FTreeNode
 
@@ -105,5 +106,12 @@ def materialize(tree: FTree, attrs: Sequence[str] | None = None) -> FlatBlock:
     for attr in attrs:
         node = tree.node_of(attr)
         column = node.block.column(attr)
-        block.add_array(attr, column.dtype, column.values()[rows[id(node)]])
+        node_rows = rows[id(node)]
+        validity = column_validity(column)
+        block.add_array(
+            attr,
+            column.dtype,
+            column.values()[node_rows],
+            None if validity is None else validity[node_rows],
+        )
     return block

@@ -320,15 +320,22 @@ class BlockResolver:
     def dtype_of(self, name: str) -> DataType:
         return self._block.dtype(name)
 
+    def validity_of(self, name: str) -> np.ndarray | None:
+        return self._block.validity(name)
+
 
 class ArraysResolver:
     """Column resolver over a plain dict of arrays (Expand-time filters)."""
 
     def __init__(
-        self, arrays: Mapping[str, np.ndarray], dtypes: Mapping[str, DataType]
+        self,
+        arrays: Mapping[str, np.ndarray],
+        dtypes: Mapping[str, DataType],
+        validity: Mapping[str, np.ndarray | None] | None = None,
     ) -> None:
         self._arrays = arrays
         self._dtypes = dtypes
+        self._validity = validity or {}
 
     def resolve(self, name: str) -> np.ndarray:
         try:
@@ -339,30 +346,22 @@ class ArraysResolver:
     def dtype_of(self, name: str) -> DataType:
         return self._dtypes.get(name, DataType.INT64)
 
+    def validity_of(self, name: str) -> np.ndarray | None:
+        return self._validity.get(name)
+
 
 def result_from_flat(
     block: FlatBlock, returns: Sequence[str] | None, stats: ExecStats
 ) -> QueryResult:
     """Build the final :class:`QueryResult` from a flat block.
 
-    Integer NULL sentinels are normalized to None at this boundary so
-    callers (and cross-engine comparisons) see one NULL representation.
+    NULLs surface as Python None: ``to_pylist`` consults each column's
+    validity bitmap, so no sentinel scrubbing happens at this boundary.
     """
-    from ..types import NULL_INT
-
     columns = list(returns) if returns is not None else block.schema
     missing = [c for c in columns if not block.has_column(c)]
     if missing:
         raise ExecutionError(f"plan returns unknown columns {missing}")
     rows = block.to_pylist(columns)
-    has_nulls = any(
-        block.dtype(c).is_integer_backed and bool((block.array(c) == NULL_INT).any())
-        for c in columns
-    )
-    if has_nulls:
-        rows = [
-            tuple(None if isinstance(v, int) and v == NULL_INT else v for v in row)
-            for row in rows
-        ]
     stats.rows_out = len(rows)
     return QueryResult(columns, rows, stats)

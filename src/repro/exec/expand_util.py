@@ -6,6 +6,11 @@ columns, with pushed-down predicates applied *during* the expansion (the
 FilterPushDown fusion).  This module computes that once so the executors
 differ only in how they organize the result (replicated flat tuples vs. an
 f-Tree child node).
+
+NULL handling is bitmap-native: source rows can carry a validity mask
+(optional-match outputs), every property column in ``extra`` carries its
+own optional validity, and optional padding clears the neighbor column's
+validity bit instead of writing a sentinel row id.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from ..plan.logical import Expand
 from ..storage.catalog import AdjacencyKey
 from ..storage.graph import GraphReadView
 from ..resilience.watchdog import Deadline
-from ..types import DataType, NULL_INT
+from ..types import DataType
 from .base import ArraysResolver
 
 
@@ -29,13 +34,17 @@ class ExpandBatch:
     """Result of expanding a batch of sources.
 
     ``counts[i]`` neighbors belong to source i, stored consecutively in
-    ``neighbors``; ``extra`` maps output column name to (dtype, array)
-    aligned with ``neighbors``.
+    ``neighbors``; ``extra`` maps output column name to
+    (dtype, array, validity) aligned with ``neighbors``.  ``validity`` is
+    the neighbor column's own mask — only optional padding clears bits.
     """
 
     counts: np.ndarray
     neighbors: np.ndarray
-    extra: dict[str, tuple[DataType, np.ndarray]] = field(default_factory=dict)
+    extra: dict[str, tuple[DataType, np.ndarray, np.ndarray | None]] = field(
+        default_factory=dict
+    )
+    validity: np.ndarray | None = None
 
     @property
     def total(self) -> int:
@@ -75,6 +84,7 @@ def _vectorized_single_hop(
                 out: (
                     _edge_prop_dtype(view, [key], prop),
                     np.empty(0, dtype=_edge_prop_dtype(view, [key], prop).numpy_dtype),
+                    None,
                 )
                 for out, prop in edge_props.items()
             },
@@ -85,10 +95,14 @@ def _vectorized_single_hop(
     within = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
     slots = np.repeat(starts, lengths) + within
     neighbors = base[slots]
-    extra: dict[str, tuple[DataType, np.ndarray]] = {}
+    extra: dict[str, tuple[DataType, np.ndarray, np.ndarray | None]] = {}
     for out, prop in edge_props.items():
         dtype = _edge_prop_dtype(view, [key], prop)
-        extra[out] = (dtype, adjacency.gather_prop(prop, slots))
+        extra[out] = (
+            dtype,
+            adjacency.gather_prop(prop, slots),
+            adjacency.gather_prop_validity(prop, slots),
+        )
     return ExpandBatch(lengths, neighbors, extra)
 
 
@@ -98,18 +112,25 @@ def _single_hop_chunks(
     from_rows: np.ndarray,
     edge_props: Mapping[str, str],
     deadline: Deadline | None = None,
-) -> tuple[np.ndarray, list[np.ndarray], dict[str, list[np.ndarray]]]:
+    from_validity: np.ndarray | None = None,
+) -> tuple[
+    np.ndarray,
+    list[np.ndarray],
+    dict[str, list[np.ndarray]],
+    dict[str, list[np.ndarray | None]],
+]:
     """Per-source neighbor chunks plus aligned edge-property chunks."""
     counts = np.zeros(len(from_rows), dtype=np.int64)
     neighbor_chunks: list[np.ndarray] = []
     prop_chunks: dict[str, list[np.ndarray]] = {out: [] for out in edge_props}
+    prop_valid_chunks: dict[str, list[np.ndarray | None]] = {out: [] for out in edge_props}
     for i, row in enumerate(from_rows):
         # Inline stride: a method call per row costs more than the check.
         if deadline is not None and not i & 1023:
             deadline.check()
+        if from_validity is not None and not from_validity[i]:
+            continue  # NULL source (optional match): contributes no neighbors
         row = int(row)
-        if row == NULL_INT:
-            continue
         for key in keys:
             if edge_props:
                 slots = view.neighbor_slots(key, row)
@@ -123,12 +144,15 @@ def _single_hop_chunks(
                 counts[i] += len(targets)
                 for out, prop in edge_props.items():
                     prop_chunks[out].append(adjacency.gather_prop(prop, slots))
+                    prop_valid_chunks[out].append(
+                        adjacency.gather_prop_validity(prop, slots)
+                    )
             else:
                 nbrs = view.neighbors(key, row)
                 if len(nbrs):
                     neighbor_chunks.append(nbrs)
                     counts[i] += len(nbrs)
-    return counts, neighbor_chunks, prop_chunks
+    return counts, neighbor_chunks, prop_chunks, prop_valid_chunks
 
 
 def _multi_hop_per_source(
@@ -213,22 +237,25 @@ def expand_batch(
     to_label: str,
     params: Mapping[str, Any],
     deadline: Deadline | None = None,
+    from_validity: np.ndarray | None = None,
 ) -> ExpandBatch:
     """Expand every source row, applying pushed-down work along the way.
 
-    *deadline*, when given, is ticked at chunk boundaries (once per source
-    vertex, strided inside BFS frontiers) so a variable-length expansion —
-    the dominant cost of the long IC queries — cancels mid-flight instead
-    of finishing an already-doomed query.
+    *from_validity* marks NULL sources (a previous optional match): those
+    rows contribute zero neighbors.  *deadline*, when given, is ticked at
+    chunk boundaries (once per source vertex, strided inside BFS frontiers)
+    so a variable-length expansion — the dominant cost of the long IC
+    queries — cancels mid-flight instead of finishing an already-doomed
+    query.
     """
     keys = resolve_expand_keys(view, op, from_label)
 
     if op.is_multi_hop:
         chunks = [
             _multi_hop_per_source(view, keys, int(row), op, deadline)
-            if int(row) != NULL_INT
+            if from_validity is None or from_validity[i]
             else np.empty(0, dtype=np.int64)
-            for row in from_rows
+            for i, row in enumerate(from_rows)
         ]
         counts = np.asarray([len(c) for c in chunks], dtype=np.int64)
         neighbors = (
@@ -239,27 +266,28 @@ def expand_batch(
         len(keys) == 1
         and view.version is None
         and view.adjacency(keys[0]).supports_segments
+        and (from_validity is None or bool(from_validity.all()))
     ):
         batch = _vectorized_single_hop(view, keys[0], from_rows, op.edge_props)
     else:
-        counts, neighbor_chunks, prop_chunks = _single_hop_chunks(
-            view, keys, from_rows, op.edge_props, deadline
+        counts, neighbor_chunks, prop_chunks, prop_valid_chunks = _single_hop_chunks(
+            view, keys, from_rows, op.edge_props, deadline, from_validity
         )
         neighbors = (
             np.concatenate(neighbor_chunks)
             if neighbor_chunks
             else np.empty(0, dtype=np.int64)
         )
-        extra: dict[str, tuple[DataType, np.ndarray]] = {}
+        extra: dict[str, tuple[DataType, np.ndarray, np.ndarray | None]] = {}
         for out, prop in op.edge_props.items():
             dtype = _edge_prop_dtype(view, keys, prop)
             chunks = prop_chunks[out]
-            extra[out] = (
-                dtype,
+            values = (
                 np.concatenate(chunks)
                 if chunks
-                else np.empty(0, dtype=dtype.numpy_dtype),
+                else np.empty(0, dtype=dtype.numpy_dtype)
             )
+            extra[out] = (dtype, values, _merge_validity_chunks(chunks, prop_valid_chunks[out]))
         batch = ExpandBatch(counts, neighbors, extra)
 
     _apply_neighbor_props(view, op, batch, to_label)
@@ -267,6 +295,20 @@ def expand_batch(
     if op.optional:
         batch = _pad_optional(batch)
     return batch
+
+
+def _merge_validity_chunks(
+    value_chunks: list[np.ndarray], valid_chunks: list[np.ndarray | None]
+) -> np.ndarray | None:
+    """Concatenate per-chunk validity masks; None when every bit is set."""
+    if not value_chunks or all(v is None for v in valid_chunks):
+        return None
+    return np.concatenate(
+        [
+            np.ones(len(values), dtype=bool) if valid is None else valid
+            for values, valid in zip(value_chunks, valid_chunks)
+        ]
+    )
 
 
 def _edge_prop_dtype(
@@ -289,10 +331,12 @@ def _apply_neighbor_props(
     for out, prop in op.neighbor_props.items():
         dtype = label_def.property(prop).dtype
         if batch.total:
-            values = view.gather_properties(to_label, prop, batch.neighbors)
+            values, validity = view.gather_properties_with_validity(
+                to_label, prop, batch.neighbors
+            )
         else:
-            values = np.empty(0, dtype=dtype.numpy_dtype)
-        batch.extra[out] = (dtype, values)
+            values, validity = np.empty(0, dtype=dtype.numpy_dtype), None
+        batch.extra[out] = (dtype, values, validity)
 
 
 def _apply_neighbor_filter(
@@ -303,10 +347,12 @@ def _apply_neighbor_filter(
         return
     arrays: dict[str, np.ndarray] = {op.to_var: batch.neighbors}
     dtypes: dict[str, DataType] = {op.to_var: DataType.INT64}
-    for name, (dtype, values) in batch.extra.items():
+    validity: dict[str, np.ndarray | None] = {}
+    for name, (dtype, values, valid) in batch.extra.items():
         arrays[name] = values
         dtypes[name] = dtype
-    resolver = ArraysResolver(arrays, dtypes)
+        validity[name] = valid
+    resolver = ArraysResolver(arrays, dtypes, validity)
     mask = np.asarray(op.neighbor_filter.eval_block(resolver, params), dtype=bool)
     if mask.all():
         return
@@ -318,38 +364,55 @@ def _apply_neighbor_filter(
     batch.counts = prefix[boundaries[1:]] - prefix[boundaries[:-1]]
     batch.neighbors = batch.neighbors[mask]
     batch.extra = {
-        name: (dtype, values[mask]) for name, (dtype, values) in batch.extra.items()
+        name: (dtype, values[mask], None if valid is None else valid[mask])
+        for name, (dtype, values, valid) in batch.extra.items()
     }
 
 
 def _pad_optional(batch: ExpandBatch) -> ExpandBatch:
-    """Give every source with zero matches one NULL neighbor row."""
+    """Give every source with zero matches one NULL neighbor row.
+
+    The NULL is a cleared validity bit on the neighbor column (and on every
+    extra property column); the backing slot holds the dtype's inert fill.
+    """
     empty = batch.counts == 0
     if not empty.any():
         return batch
     new_counts = batch.counts.copy()
     new_counts[empty] = 1
     total = int(new_counts.sum())
-    neighbors = np.empty(total, dtype=np.int64)
+    neighbors = np.full(total, DataType.INT64.fill_value(), dtype=np.int64)
+    neighbor_valid = np.ones(total, dtype=bool)
     extra = {
-        name: (dtype, np.empty(total, dtype=values.dtype))
-        for name, (dtype, values) in batch.extra.items()
+        name: (
+            dtype,
+            np.empty(total, dtype=values.dtype),
+            np.ones(total, dtype=bool),
+        )
+        for name, (dtype, values, _valid) in batch.extra.items()
     }
     write = 0
     read = 0
     for i, count in enumerate(batch.counts):
         count = int(count)
         if count == 0:
-            neighbors[write] = NULL_INT
-            for name, (dtype, out_values) in extra.items():
-                out_values[write] = dtype.null_value()
+            neighbor_valid[write] = False
+            for name, (dtype, out_values, out_valid) in extra.items():
+                out_values[write] = dtype.fill_value()
+                out_valid[write] = False
             write += 1
         else:
-            neighbors[write : write + count] = batch.neighbors[read : read + count]
-            for name, (dtype, out_values) in extra.items():
-                out_values[write : write + count] = batch.extra[name][1][
-                    read : read + count
-                ]
+            span = slice(write, write + count)
+            neighbors[span] = batch.neighbors[read : read + count]
+            for name, (dtype, out_values, out_valid) in extra.items():
+                _, src_values, src_valid = batch.extra[name]
+                out_values[span] = src_values[read : read + count]
+                if src_valid is not None:
+                    out_valid[span] = src_valid[read : read + count]
             write += count
             read += count
-    return ExpandBatch(new_counts, neighbors, extra)
+    final_extra = {
+        name: (dtype, values, None if valid.all() else valid)
+        for name, (dtype, values, valid) in extra.items()
+    }
+    return ExpandBatch(new_counts, neighbors, final_extra, neighbor_valid)

@@ -25,7 +25,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from ..core.column import Column
+from ..core.column import Column, column_validity
 from ..core.defactor import materialize, slot_count
 from ..obs.clock import now
 from ..core.fblock import FBlock
@@ -41,6 +41,7 @@ from ..plan.logical import (
     Distinct,
     Expand,
     Filter,
+    FilteredNodeScan,
     GetProperty,
     Limit,
     LogicalOp,
@@ -56,9 +57,11 @@ from ..plan.logical import (
     resolve_labels,
 )
 from ..storage.graph import GraphReadView
-from ..types import DataType, NULL_INT, is_null
+from ..storage.validity import pack_values
+from ..types import DataType, is_null
 from .base import ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
 from .expand_util import expand_batch, resolve_expand_keys
+from .scan import filtered_scan
 from .flat import (
     _non_null_mask,
     dispatch_flat,
@@ -113,6 +116,9 @@ class FBlockResolver:
 
     def dtype_of(self, name: str) -> DataType:
         return self._block.column(name).dtype
+
+    def validity_of(self, name: str) -> np.ndarray | None:
+        return column_validity(self._block.column(name))
 
 
 def execute_factorized(
@@ -212,6 +218,11 @@ def dispatch_factorized(state: PipelineState, op: LogicalOp, ctx: ExecutionConte
         return
     if isinstance(op, NodeByRows):
         _start(state, op.var, np.asarray(ctx.params[op.rows_param], dtype=np.int64))
+        return
+    if isinstance(op, FilteredNodeScan):
+        rows, values, validity, dtype = filtered_scan(ctx.view, op, ctx.params)
+        _start(state, op.var, rows)
+        state.tree.add_column(state.tree.root, Column(op.out, dtype, values, validity))
         return
     if isinstance(op, ProcedureCall):
         args = {name: expr.eval_row({}, ctx.params) for name, expr in op.args.items()}
@@ -320,29 +331,38 @@ def _factorized_expand(state: PipelineState, op: Expand, ctx: ExecutionContext) 
         and ctx.view.store.adjacency(keys[0]).supports_segments
         and ctx.view.version is None
     )
-    from_values = node.block.column(op.from_var).values()
+    from_column = node.block.column(op.from_var)
+    from_values = from_column.values()
+    from_valid = column_validity(from_column)
 
     if pointer_join_ok:
         key = keys[0]
         adjacency = ctx.view.store.adjacency(key)
         base, starts, lengths = adjacency.meta_for(from_values)
-        # Entries pruned by the selection vector never expand.
+        # Entries pruned by the selection vector (or NULL sources from an
+        # earlier optional match) never expand.
         lengths = np.where(node.selection, lengths, 0)
+        if from_valid is not None:
+            lengths = np.where(from_valid, lengths, 0)
         child_block = FBlock([LazyNeighborColumn(op.to_var, base, starts, lengths)])
         tree.add_child(node, op.to_var, child_block, IndexVector.from_lengths(lengths))
         return
 
-    # General path: masked sources (pruned by the selection vector) through
-    # the shared expansion machinery.
-    masked = from_values.copy()
-    masked[~node.selection] = NULL_INT
-    batch = expand_batch(
-        ctx.view, op, masked, from_label, to_label, ctx.params,
-        deadline=ctx.deadline,
+    # General path: sources pruned by the selection vector (and NULL
+    # sources) are skipped via the validity mask — no sentinel writes.
+    sources_valid = (
+        node.selection if from_valid is None else node.selection & from_valid
     )
-    child_block = FBlock([Column(op.to_var, DataType.INT64, batch.neighbors)])
-    for name, (dtype, values) in batch.extra.items():
-        child_block.add_column(Column(name, dtype, values))
+    batch = expand_batch(
+        ctx.view, op, from_values, from_label, to_label, ctx.params,
+        deadline=ctx.deadline,
+        from_validity=None if bool(sources_valid.all()) else sources_valid,
+    )
+    child_block = FBlock(
+        [Column(op.to_var, DataType.INT64, batch.neighbors, batch.validity)]
+    )
+    for name, (dtype, values, valid) in batch.extra.items():
+        child_block.add_column(Column(name, dtype, values, valid))
     tree.add_child(node, op.to_var, child_block, IndexVector.from_lengths(batch.counts))
 
 
@@ -353,19 +373,26 @@ def _factorized_get_property(tree: FTree, op: GetProperty, ctx: ExecutionContext
     node = tree.node_of(op.var)
     label = ctx.label_of(op.var)
     dtype = ctx.view.schema.vertex_label(label).property(op.prop).dtype
-    rows = node.block.column(op.var).values()
-    if node.selection.all():
-        values = gather_with_nulls(ctx.view, label, op.prop, dtype, rows)
+    column = node.block.column(op.var)
+    rows = column.values()
+    row_valid = column_validity(column)
+    if node.selection.all() and row_valid is None:
+        values, validity = gather_with_nulls(ctx.view, label, op.prop, dtype, rows)
     else:
-        # "Factor out useless values": only selection-valid entries are
-        # fetched; invalid slots keep the NULL sentinel.
-        values = np.full(len(rows), dtype.null_value(), dtype=dtype.numpy_dtype)
-        valid = np.flatnonzero(node.selection)
-        if len(valid):
-            values[valid] = gather_with_nulls(
-                ctx.view, label, op.prop, dtype, rows[valid]
+        # "Factor out useless values": only selection-valid, non-NULL
+        # entries are fetched; the rest stay NULL via cleared validity bits
+        # over the dtype's inert fill.
+        values = np.full(len(rows), dtype.fill_value(), dtype=dtype.numpy_dtype)
+        validity = np.zeros(len(rows), dtype=bool)
+        live = node.selection if row_valid is None else node.selection & row_valid
+        live_idx = np.flatnonzero(live)
+        if len(live_idx):
+            gathered, gathered_valid = gather_with_nulls(
+                ctx.view, label, op.prop, dtype, rows[live_idx]
             )
-    tree.add_column(node, Column(op.out, dtype, values))
+            values[live_idx] = gathered
+            validity[live_idx] = True if gathered_valid is None else gathered_valid
+    tree.add_column(node, Column(op.out, dtype, values, validity))
 
 
 def _factorized_filter(state: PipelineState, op: Filter, ctx: ExecutionContext) -> None:
@@ -402,12 +429,21 @@ def _factorized_project(state: PipelineState, op: Project, ctx: ExecutionContext
         node = tree.node_of(next(iter(cols))) if cols else tree.root
         resolver = FBlockResolver(node.block)
         values = expr.eval_block(resolver, ctx.params)
+        nulls = expr.null_block(resolver, ctx.params)
         dtype = expr.infer_dtype(resolver.dtype_of, ctx.params)
+        if values is None:
+            values = dtype.fill_value()
         if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
             values = np.full(len(node.block), values, dtype=dtype.numpy_dtype)
-        if isinstance(expr, Col) and expr.name != name:
-            values = np.asarray(values, dtype=dtype.numpy_dtype)
-        tree.add_column(node, Column(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype)))
+        validity = None
+        if nulls is not None:
+            if np.isscalar(nulls) or (isinstance(nulls, np.ndarray) and nulls.ndim == 0):
+                nulls = np.full(len(node.block), bool(nulls))
+            validity = ~np.asarray(nulls, dtype=bool)
+        tree.add_column(
+            node,
+            Column(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype), validity),
+        )
     state.projection = [name for name, _ in op.items]
 
 
@@ -492,9 +528,12 @@ def aggregate_on_node(
     valid = np.flatnonzero(weights > 0)
     valid_weights = weights[valid].astype(np.float64)
 
-    # Dense group ids for the valid entries.
+    # Dense group ids for the valid entries (NULL keys group as None,
+    # matching the flat executor's to_pylist-based hashing).
     if group_by:
-        key_lists = [node.block.column(c).values()[valid].tolist() for c in group_by]
+        key_lists = [
+            _entry_pylist(node.block.column(c), valid) for c in group_by
+        ]
         group_of: dict[tuple[Any, ...], int] = {}
         group_idx = np.empty(len(valid), dtype=np.int64)
         for i, key in enumerate(zip(*key_lists) if key_lists else ()):
@@ -510,8 +549,8 @@ def aggregate_on_node(
     out = FlatBlock()
     for position, name in enumerate(group_by):
         column = node.block.column(name)
-        values = np.asarray([k[position] for k in keys], dtype=column.dtype.numpy_dtype)
-        out.add_array(name, column.dtype, values)
+        data, key_valid = pack_values([k[position] for k in keys], column.dtype)
+        out.add_array(name, column.dtype, data, key_valid)
 
     for agg in aggs:
         dtype = _weighted_agg_dtype(agg, node)
@@ -520,10 +559,14 @@ def aggregate_on_node(
             out.add_array(agg.out, dtype, values.astype(np.int64))
             continue
         assert agg.arg is not None
-        arg = node.block.column(agg.arg).values()[valid]
+        arg_column = node.block.column(agg.arg)
+        arg = arg_column.values()[valid]
+        arg_validity = column_validity(arg_column)
         # NULL entries carry zero weight, matching the flat executor's
         # per-tuple mask (count/sum/min/max/avg all skip NULLs).
-        non_null = _non_null_mask(arg)
+        non_null = _non_null_mask(
+            arg, None if arg_validity is None else arg_validity[valid]
+        )
         weights = valid_weights * non_null
         if agg.fn == "count":
             counts = np.bincount(group_idx, weights=weights, minlength=num_groups)
@@ -544,15 +587,19 @@ def aggregate_on_node(
             counts = np.bincount(group_idx, weights=weights, minlength=num_groups)
             with np.errstate(invalid="ignore", divide="ignore"):
                 means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
-            out.add_array(agg.out, dtype, means)
+            empty = counts == 0
+            out.add_array(agg.out, dtype, means, ~empty if empty.any() else None)
         elif agg.fn in ("min", "max"):
             if arg.dtype == object:
                 extremes: list[Any] = [None] * num_groups
+                seen_any = [False] * num_groups
                 better = (lambda a, b: a < b) if agg.fn == "min" else (lambda a, b: a > b)
                 for g, v, ok in zip(group_idx.tolist(), arg.tolist(), non_null.tolist()):
-                    if ok and (extremes[g] is None or better(v, extremes[g])):
+                    if ok and (not seen_any[g] or better(v, extremes[g])):
                         extremes[g] = v
-                out.add_array(agg.out, dtype, np.asarray(extremes, dtype=object))
+                        seen_any[g] = True
+                data, ex_valid = pack_values(extremes, dtype)
+                out.add_array(agg.out, dtype, data, ex_valid)
             else:
                 fill = (
                     np.finfo(arg.dtype).max if arg.dtype.kind == "f"
@@ -566,9 +613,16 @@ def aggregate_on_node(
                 seen = np.bincount(
                     group_idx, weights=non_null.astype(np.float64), minlength=num_groups
                 )
-                null = dtype.null_value()
-                extremes = np.where(seen > 0, extremes, null)
-                out.add_array(agg.out, dtype, extremes.astype(dtype.numpy_dtype))
+                # Empty (all-NULL) groups yield NULL via validity over the
+                # dtype's inert fill.
+                empty = seen == 0
+                extremes = np.where(empty, dtype.fill_value(), extremes)
+                out.add_array(
+                    agg.out,
+                    dtype,
+                    extremes.astype(dtype.numpy_dtype),
+                    ~empty if empty.any() else None,
+                )
         elif agg.fn == "count_distinct":
             seen_sets: list[set[Any]] = [set() for _ in range(num_groups)]
             for g, v, ok in zip(group_idx.tolist(), arg.tolist(), non_null.tolist()):
@@ -580,6 +634,16 @@ def aggregate_on_node(
         else:
             raise ExecutionError(f"unknown aggregate {agg.fn!r}")
     return out
+
+
+def _entry_pylist(column: Column, idx: np.ndarray) -> list[Any]:
+    """Entry values at *idx* as Python objects, NULLs as None."""
+    values = column.values()[idx].tolist()
+    validity = column_validity(column)
+    if validity is not None:
+        mask = validity[idx]
+        values = [v if ok else None for v, ok in zip(values, mask)]
+    return values
 
 
 def _weighted_agg_dtype(agg: AggSpec, node: FTreeNode) -> DataType:
@@ -619,7 +683,15 @@ def _entry_order(
     for name, ascending in reversed(keys):
         column = node.block.column(name)
         values = column.values()[candidates]
-        arrays.append(sort_key_array(values, column.dtype, ascending))
+        validity = column_validity(column)
+        arrays.append(
+            sort_key_array(
+                values,
+                column.dtype,
+                ascending,
+                None if validity is None else validity[candidates],
+            )
+        )
     return candidates[np.lexsort(arrays)]
 
 
@@ -813,11 +885,8 @@ def _streaming_aggregate(
     keys = list(accumulators.keys())
     for position, name in enumerate(group_by):
         dtype = _attr_dtype(tree, name)
-        out.add_array(
-            name,
-            dtype,
-            np.asarray([k[position] for k in keys], dtype=dtype.numpy_dtype),
-        )
+        data, validity = pack_values([k[position] for k in keys], dtype)
+        out.add_array(name, dtype, data, validity)
     for i, agg in enumerate(aggs):
         dtype = (
             DataType.INT64
@@ -827,7 +896,8 @@ def _streaming_aggregate(
             else _attr_dtype(tree, agg.arg)  # type: ignore[arg-type]
         )
         values = [_finish_accumulator(accumulators[k][i], agg, dtype) for k in keys]
-        out.add_array(agg.out, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+        data, validity = pack_values(values, dtype)
+        out.add_array(agg.out, dtype, data, validity)
     return out
 
 
@@ -879,11 +949,11 @@ def _finish_accumulator(slot: Any, agg: AggSpec, dtype: DataType) -> Any:
     if agg.fn in ("count", "sum"):
         return slot[0]
     if agg.fn in ("min", "max"):
-        # An empty (or all-NULL) group yields the column dtype's NULL, the
-        # same value the flat aggregation produces.
-        return slot[0] if slot[0] is not None else dtype.null_value()
+        # An empty (or all-NULL) group yields NULL (None → cleared validity
+        # bit downstream), same as the flat aggregation.
+        return slot[0]
     if agg.fn == "avg":
-        return float(slot[0]) / slot[1] if slot[1] else float("nan")
+        return float(slot[0]) / slot[1] if slot[1] else None
     raise ExecutionError(f"unknown aggregate {agg.fn!r}")
 
 
@@ -896,7 +966,6 @@ def _rows_to_block(tree: FTree, attrs: Sequence[str], rows: list[tuple[Any, ...]
     block = FlatBlock()
     for i, attr in enumerate(attrs):
         dtype = _attr_dtype(tree, attr)
-        block.add_array(
-            attr, dtype, np.asarray([r[i] for r in rows], dtype=dtype.numpy_dtype)
-        )
+        data, validity = pack_values([r[i] for r in rows], dtype)
+        block.add_array(attr, dtype, data, validity)
     return block

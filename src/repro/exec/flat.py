@@ -27,6 +27,7 @@ from ..plan.logical import (
     Distinct,
     Expand,
     Filter,
+    FilteredNodeScan,
     GetProperty,
     Limit,
     LogicalOp,
@@ -43,10 +44,12 @@ from ..plan.logical import (
 )
 from ..obs.clock import now
 from ..storage.graph import GraphReadView
-from ..types import DataType, NULL_FLOAT, NULL_INT
+from ..storage.validity import pack_values
+from ..types import DataType
 from .base import BlockResolver, ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
 from .expand_util import expand_batch
 from .procedures import get_procedure
+from .scan import filtered_scan
 
 
 def execute_flat(
@@ -97,6 +100,12 @@ def dispatch_flat(block: FlatBlock | None, op: LogicalOp, ctx: ExecutionContext)
         rows = np.asarray(ctx.params[op.rows_param], dtype=np.int64)
         out = FlatBlock()
         out.add_array(op.var, DataType.INT64, rows)
+        return out
+    if isinstance(op, FilteredNodeScan):
+        rows, values, validity, dtype = filtered_scan(ctx.view, op, ctx.params)
+        out = FlatBlock()
+        out.add_array(op.var, DataType.INT64, rows)
+        out.add_array(op.out, dtype, values, validity)
         return out
     if isinstance(op, VertexExpand):
         seeded = _seek(op.seek_var, op.seek_label, op.seek_key, ctx)
@@ -156,17 +165,23 @@ def _expand(block: FlatBlock, op: Expand, ctx: ExecutionContext) -> FlatBlock:
     from_rows = block.array(op.from_var)
     batch = expand_batch(
         ctx.view, op, from_rows, from_label, to_label, ctx.params,
-        deadline=ctx.deadline,
+        deadline=ctx.deadline, from_validity=block.validity(op.from_var),
     )
 
     out = FlatBlock()
     for name in block.schema:
         # Flat execution replicates every existing column per neighbor —
         # exactly the redundancy of Figure 4.
-        out.add_array(name, block.dtype(name), np.repeat(block.array(name), batch.counts))
-    out.add_array(op.to_var, DataType.INT64, batch.neighbors)
-    for name, (dtype, values) in batch.extra.items():
-        out.add_array(name, dtype, values)
+        valid = block.validity(name)
+        out.add_array(
+            name,
+            block.dtype(name),
+            np.repeat(block.array(name), batch.counts),
+            None if valid is None else np.repeat(valid, batch.counts),
+        )
+    out.add_array(op.to_var, DataType.INT64, batch.neighbors, batch.validity)
+    for name, (dtype, values, valid) in batch.extra.items():
+        out.add_array(name, dtype, values, valid)
     return out
 
 
@@ -186,7 +201,7 @@ def _expand_multi_hop(
         raise ExecutionError("multi-hop Expand requires matching endpoint labels")
     lineage = FlatBlock()
     for name in block.schema:
-        lineage.add_array(name, block.dtype(name), block.array(name))
+        lineage.add_array(name, block.dtype(name), block.array(name), block.validity(name))
     lineage.add_array("__lineage", DataType.INT64, np.arange(len(block), dtype=np.int64))
 
     current = lineage
@@ -222,7 +237,7 @@ def _expand_multi_hop(
     out = block.take(np.asarray(keep_lineage, dtype=np.int64))
     result = FlatBlock()
     for name in out.schema:
-        result.add_array(name, out.dtype(name), out.array(name))
+        result.add_array(name, out.dtype(name), out.array(name), out.validity(name))
     result.add_array(op.to_var, DataType.INT64, np.asarray(keep_vertex, dtype=np.int64))
     return result
 
@@ -231,30 +246,52 @@ def _get_property(block: FlatBlock, op: GetProperty, ctx: ExecutionContext) -> F
     label = ctx.label_of(op.var)
     dtype = ctx.view.schema.vertex_label(label).property(op.prop).dtype
     rows = block.array(op.var)
-    values = gather_with_nulls(ctx.view, label, op.prop, dtype, rows)
+    values, validity = gather_with_nulls(
+        ctx.view, label, op.prop, dtype, rows, block.validity(op.var)
+    )
     out = FlatBlock()
     for name in block.schema:
         # The flat pipeline materializes its output tuples: every column is
         # rewritten, not shared — the data movement the paper measures.
-        out.add_array(name, block.dtype(name), block.array(name).copy())
-    out.add_array(op.out, dtype, values)
+        valid = block.validity(name)
+        out.add_array(
+            name,
+            block.dtype(name),
+            block.array(name).copy(),
+            None if valid is None else valid.copy(),
+        )
+    out.add_array(op.out, dtype, values, validity)
     return out
 
 
 def gather_with_nulls(
-    view: GraphReadView, label: str, prop: str, dtype: DataType, rows: np.ndarray
-) -> np.ndarray:
-    """Vectorized property gather tolerating NULL row ids (optional matches)."""
+    view: GraphReadView,
+    label: str,
+    prop: str,
+    dtype: DataType,
+    rows: np.ndarray,
+    rows_validity: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Vectorized property gather tolerating NULL row ids (optional matches).
+
+    Returns (values, validity): a NULL source row — a cleared bit in
+    *rows_validity* — yields a NULL output; real rows inherit the stored
+    column's validity.
+    """
     if len(rows) == 0:
-        return np.empty(0, dtype=dtype.numpy_dtype)
-    null_mask = rows == NULL_INT
-    if not null_mask.any():
-        return view.gather_properties(label, prop, rows)
-    values = np.full(len(rows), dtype.null_value(), dtype=dtype.numpy_dtype)
-    valid = ~null_mask
-    if valid.any():
-        values[valid] = view.gather_properties(label, prop, rows[valid])
-    return values
+        return np.empty(0, dtype=dtype.numpy_dtype), None
+    if rows_validity is None:
+        return view.gather_properties_with_validity(label, prop, rows)
+    values = np.full(len(rows), dtype.fill_value(), dtype=dtype.numpy_dtype)
+    validity = rows_validity.copy()
+    if rows_validity.any():
+        gathered, gathered_valid = view.gather_properties_with_validity(
+            label, prop, rows[rows_validity]
+        )
+        values[rows_validity] = gathered
+        if gathered_valid is not None:
+            validity[np.flatnonzero(rows_validity)] = gathered_valid
+    return values, validity
 
 
 def project_block(
@@ -265,10 +302,18 @@ def project_block(
     out = FlatBlock()
     for name, expr in items:
         values = expr.eval_block(resolver, ctx.params)
+        nulls = expr.null_block(resolver, ctx.params)
         dtype = expr.infer_dtype(block.dtype, ctx.params)
+        if values is None:
+            values = dtype.fill_value()
         if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
             values = np.full(len(block), values, dtype=dtype.numpy_dtype)
-        out.add_array(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype))
+        validity = None
+        if nulls is not None:
+            if np.isscalar(nulls) or (isinstance(nulls, np.ndarray) and nulls.ndim == 0):
+                nulls = np.full(len(block), bool(nulls))
+            validity = ~np.asarray(nulls, dtype=bool)
+        out.add_array(name, dtype, np.asarray(values, dtype=dtype.numpy_dtype), validity)
     return out
 
 
@@ -290,14 +335,14 @@ def flat_aggregate(
     out = FlatBlock()
     for position, name in enumerate(group_by):
         dtype = block.dtype(name)
-        values = np.asarray([k[position] for k in keys], dtype=dtype.numpy_dtype)
-        out.add_array(name, dtype, values)
+        data, validity = pack_values([k[position] for k in keys], dtype)
+        out.add_array(name, dtype, data, validity)
     for agg in aggs:
         dtype = _agg_dtype(agg, block)
-        values = np.asarray(
-            [_eval_agg(agg, block, idx) for idx in index_sets], dtype=dtype.numpy_dtype
+        data, validity = pack_values(
+            [_eval_agg(agg, block, idx) for idx in index_sets], dtype
         )
-        out.add_array(agg.out, dtype, values)
+        out.add_array(agg.out, dtype, data, validity)
     return out
 
 
@@ -315,17 +360,16 @@ def _eval_agg(agg: AggSpec, block: FlatBlock, indices: np.ndarray) -> Any:
         if agg.arg is None:
             return len(indices)
         values = block.array(agg.arg)[indices]
-        return int((_non_null_mask(values)).sum())
+        return int(_non_null_mask(values, _arg_validity(block, agg.arg, indices)).sum())
     assert agg.arg is not None
     values = block.array(agg.arg)[indices]
-    mask = _non_null_mask(values)
+    mask = _non_null_mask(values, _arg_validity(block, agg.arg, indices))
     values = values[mask]
     if agg.fn == "count_distinct":
         return len(set(values.tolist()))
     if len(values) == 0:
-        if agg.fn in ("sum",):
-            return 0
-        return block.dtype(agg.arg).null_value() if agg.fn in ("min", "max") else NULL_FLOAT
+        # Empty min/max/avg is NULL (a cleared validity bit downstream).
+        return 0 if agg.fn == "sum" else None
     if agg.fn == "sum":
         return values.sum()
     if agg.fn == "min":
@@ -337,11 +381,26 @@ def _eval_agg(agg: AggSpec, block: FlatBlock, indices: np.ndarray) -> Any:
     raise ExecutionError(f"unknown aggregate {agg.fn!r}")
 
 
-def _non_null_mask(values: np.ndarray) -> np.ndarray:
+def _arg_validity(block: FlatBlock, name: str, indices: np.ndarray) -> np.ndarray | None:
+    validity = block.validity(name)
+    return None if validity is None else validity[indices]
+
+
+def _non_null_mask(
+    values: np.ndarray, validity: np.ndarray | None = None
+) -> np.ndarray:
+    """Aggregation input mask: validity bits first, value-level NULLs second.
+
+    Object None and float NaN still read as NULL for columns produced
+    without a mask (e.g. raw projection outputs); integers carry no
+    value-level NULL — the sentinel convention is gone.
+    """
     if values.dtype == object:
-        return np.fromiter((v is not None for v in values), dtype=bool, count=len(values))
-    if values.dtype.kind == "f":
-        return ~np.isnan(values)
-    if values.dtype.kind == "i":
-        return values != NULL_INT
-    return np.ones(len(values), dtype=bool)
+        mask = np.fromiter((v is not None for v in values), dtype=bool, count=len(values))
+    elif values.dtype.kind == "f":
+        mask = ~np.isnan(values)
+    else:
+        mask = np.ones(len(values), dtype=bool)
+    if validity is not None:
+        mask &= validity
+    return mask

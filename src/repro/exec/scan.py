@@ -1,0 +1,97 @@
+"""Zone-map-assisted filtered scans — the FilteredNodeScan source operator.
+
+The columnar executors share one implementation: consult the property
+column's per-block zone map (min/max/null-count summaries over 1024-row
+blocks) to drop blocks that cannot satisfy ``prop <cmp> value``, gather
+only the surviving candidate rows, and re-check the exact predicate
+through the standard expression machinery so validity bitmaps and NULL
+comparison semantics are identical to an unfused Filter.
+
+Versioned/overlay views and non-numeric predicates fall back to the dense
+scan path — zone maps summarize the column's full live prefix, which a
+snapshot-bound view must not trust for visibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..plan.expressions import Cmp, Col
+from ..plan.logical import FilteredNodeScan
+from ..storage.graph import GraphReadView
+from ..types import DataType
+from .base import ArraysResolver
+
+
+def _zone_literal(value: Any) -> float | None:
+    """The comparison operand as a float for zone-map pruning.
+
+    Returns ``None`` when the predicate is not prunable: non-numeric
+    operands, NULL (``None``/NaN, whose comparison semantics the exact
+    re-check must decide), and bools (kept off the numeric fast path).
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return None
+    if isinstance(value, (int, np.integer)):
+        return float(value)
+    if isinstance(value, (float, np.floating)) and value == value:
+        return float(value)
+    return None
+
+
+def _candidate_rows(
+    rows: np.ndarray, keep: np.ndarray, block_rows: int
+) -> np.ndarray:
+    """Restrict *rows* to those inside zone-map candidate blocks.
+
+    The common tombstone-free scan hands in a contiguous row range; there
+    the kept blocks' spans are emitted directly instead of dividing and
+    fancy-indexing the full row array.
+    """
+    if keep.all():
+        return rows
+    lo, hi = int(rows[0]), int(rows[-1]) + 1
+    if hi - lo == len(rows):  # contiguous: rows == arange(lo, hi)
+        spans = [
+            np.arange(max(block * block_rows, lo), min((block + 1) * block_rows, hi))
+            for block in np.flatnonzero(keep)
+            if block * block_rows < hi and (block + 1) * block_rows > lo
+        ]
+        if not spans:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(spans)
+    return rows[keep[rows // block_rows]]
+
+
+def filtered_scan(
+    view: GraphReadView,
+    op: FilteredNodeScan,
+    params: Mapping[str, Any],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, DataType]:
+    """Rows of ``op.label`` satisfying the predicate, plus their property
+    values and validity (``None`` == all valid) and the column dtype.
+    """
+    dtype = view.schema.vertex_label(op.label).property(op.prop).dtype
+    rows = view.all_rows(op.label)
+    literal = _zone_literal(op.value.eval_row({}, params))
+    if literal is not None and view.version is None and len(rows):
+        column = view.store.table(op.label).column(op.prop)
+        if column.supports_zone_map:
+            zone_map = column.zone_map()
+            keep = zone_map.candidate_blocks(op.cmp, literal)
+            rows = _candidate_rows(rows, keep, zone_map.block_rows)
+    values, validity = view.gather_properties_with_validity(op.label, op.prop, rows)
+    resolver = ArraysResolver(
+        {op.out: values}, {op.out: dtype}, validity={op.out: validity}
+    )
+    mask = np.asarray(
+        Cmp(op.cmp, Col(op.out), op.value).eval_block(resolver, params), dtype=bool
+    )
+    return (
+        rows[mask],
+        values[mask],
+        None if validity is None else validity[mask],
+        dtype,
+    )

@@ -8,9 +8,23 @@ Expressions evaluate in two modes:
   Volcano baseline uses, and the fused streaming operators when they
   consume the constant-delay enumeration.
 
-Null semantics are sentinel-based (see :mod:`repro.types`): comparisons
-against a NULL sentinel are simply false, which matches what the LDBC
-workload needs from its filters.
+Null semantics are validity-based: a NULL is a cleared validity bit on the
+source column (surfaced to the row path as Python ``None``), never a
+sentinel value in the data.  :meth:`Expr.null_block` propagates elementwise
+NULL masks through arithmetic and scalar functions so every consumer masks
+uniformly.  The contract, identical in both modes:
+
+* ordered comparisons with a NULL operand are false;
+* ``NULL == NULL`` is true and ``NULL == value`` is false (matching Python
+  ``None`` equality, which the row path gets for free);
+* ``IN`` with a NULL operand is false (so ``NOT IN`` is true);
+* arithmetic and scalar functions propagate NULL.
+
+Float NaN *values* (e.g. computed ``0/0``) are not NULLs: they follow IEEE
+comparison rules in both modes.  Stored NaN is converted to a validity
+NULL at ingest, so no valid float slot holds NaN.  For resolvers that
+cannot supply validity, ``IS NULL`` additionally treats NaN as NULL — a
+deprecated compat reading of the sentinel era.
 """
 
 from __future__ import annotations
@@ -20,15 +34,29 @@ from typing import Any, Callable, Mapping, Protocol, Sequence
 import numpy as np
 
 from ..errors import ExpressionError
-from ..types import DataType, MILLIS_PER_DAY, NULL_INT, is_null
+from ..types import DataType, MILLIS_PER_DAY, is_null
 
 
 class ColumnResolver(Protocol):
-    """What an expression needs from its evaluation environment."""
+    """What an expression needs from its evaluation environment.
+
+    Resolvers that track NULLs additionally expose
+    ``validity_of(name) -> np.ndarray | None`` (True = value present);
+    resolvers without it are treated as all-valid, with ``None`` holes in
+    object arrays still detected.
+    """
 
     def resolve(self, name: str) -> np.ndarray: ...
 
     def dtype_of(self, name: str) -> DataType: ...
+
+
+def resolver_validity(resolver: Any, name: str) -> np.ndarray | None:
+    """Validity mask of *name* under *resolver* (duck-typed, None = valid)."""
+    accessor = getattr(resolver, "validity_of", None)
+    if accessor is None:
+        return None
+    return accessor(name)
 
 
 class Expr:
@@ -40,6 +68,18 @@ class Expr:
 
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
         raise NotImplementedError
+
+    def null_block(
+        self, resolver: ColumnResolver, params: Mapping[str, Any]
+    ) -> np.ndarray | bool | None:
+        """Elementwise NULL mask of this expression's block value.
+
+        ``None`` means "no NULLs anywhere"; a bool scalar broadcasts over
+        the block (literal/parameter operands).  Predicates (comparisons,
+        boolean ops, membership, IS NULL) produce definite booleans and
+        return ``None``.
+        """
+        return None
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
         raise NotImplementedError
@@ -107,6 +147,23 @@ class Col(Expr):
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
         return resolver.resolve(self.name)
 
+    def null_block(
+        self, resolver: ColumnResolver, params: Mapping[str, Any]
+    ) -> np.ndarray | bool | None:
+        validity = resolver_validity(resolver, self.name)
+        nulls = None if validity is None else ~validity
+        values = resolver.resolve(self.name)
+        if isinstance(values, np.ndarray) and values.dtype == object:
+            # Object columns use None both as the inert fill and as the row
+            # representation, so a None scan is exact even without validity.
+            scan = np.fromiter(
+                (v is None for v in values), dtype=bool, count=len(values)
+            )
+            nulls = scan if nulls is None else (nulls | scan)
+        if nulls is not None and isinstance(nulls, np.ndarray) and not nulls.any():
+            return None
+        return nulls
+
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
         try:
             return row[self.name]
@@ -133,6 +190,11 @@ class Lit(Expr):
 
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> Any:
         return self.value
+
+    def null_block(
+        self, resolver: ColumnResolver, params: Mapping[str, Any]
+    ) -> np.ndarray | bool | None:
+        return True if self.value is None else None
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
         return self.value
@@ -166,6 +228,11 @@ class Param(Expr):
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> Any:
         return self._value(params)
 
+    def null_block(
+        self, resolver: ColumnResolver, params: Mapping[str, Any]
+    ) -> np.ndarray | bool | None:
+        return True if self._value(params) is None else None
+
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
         return self._value(params)
 
@@ -190,19 +257,15 @@ _CMP_OPS: dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
-def _null_mask(values: Any) -> Any:
-    """Elementwise NULL mask for an operand (array or scalar)."""
-    if isinstance(values, np.ndarray) and values.ndim:
-        if values.dtype == object:
-            return np.fromiter(
-                (v is None for v in values), dtype=bool, count=len(values)
-            )
-        if values.dtype.kind == "f":
-            return np.isnan(values)
-        if values.dtype.kind == "i":
-            return values == NULL_INT
-        return np.zeros(len(values), dtype=bool)
-    return is_null(values)
+def combine_nulls(
+    a: np.ndarray | bool | None, b: np.ndarray | bool | None
+) -> np.ndarray | bool | None:
+    """OR of two elementwise NULL masks (None = no NULLs, bool broadcasts)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
 
 
 class Cmp(Expr):
@@ -221,13 +284,25 @@ class Cmp(Expr):
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
         left = self.left.eval_block(resolver, params)
         right = self.right.eval_block(resolver, params)
+        lnull = self.left.null_block(resolver, params)
+        rnull = self.right.null_block(resolver, params)
+        if self.op in ("==", "!="):
+            equal = np.asarray(_CMP_OPS["=="](left, right), dtype=bool)
+            if lnull is not None or rnull is not None:
+                # NULL == NULL is true, NULL == value false — the Python
+                # None semantics the row path gets for free.  (Object
+                # columns already behave this way elementwise; the masks
+                # extend it to fill-backed numeric columns.)
+                l = False if lnull is None else lnull
+                r = False if rnull is None else rnull
+                equal = (equal & ~(l | r)) | (l & r)
+            return equal if self.op == "==" else ~equal
         result = np.asarray(_CMP_OPS[self.op](left, right), dtype=bool)
-        if self.op not in ("==", "!="):
-            # Ordered comparisons against NULL are false (the row path already
-            # guards via is_null; the int64 sentinel would otherwise compare
-            # numerically here and diverge from it).
-            null = _null_mask(left) | _null_mask(right)
-            result = result & ~null
+        nulls = combine_nulls(lnull, rnull)
+        if nulls is not None:
+            # Ordered comparisons against NULL are false.  (NaN *values*
+            # need no mask: IEEE comparisons are already false.)
+            result = result & ~nulls
         return result
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
@@ -334,12 +409,25 @@ class Arith(Expr):
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
         left = self.left.eval_block(resolver, params)
         right = self.right.eval_block(resolver, params)
-        return _ARITH_OPS[self.op](left, right)
+        with np.errstate(over="ignore"):
+            return _ARITH_OPS[self.op](left, right)
+
+    def null_block(
+        self, resolver: ColumnResolver, params: Mapping[str, Any]
+    ) -> np.ndarray | bool | None:
+        # Arithmetic propagates NULL from either operand (the satellite
+        # audit: the sentinel era silently computed on fill values here).
+        return combine_nulls(
+            self.left.null_block(resolver, params),
+            self.right.null_block(resolver, params),
+        )
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
-        return _ARITH_OPS[self.op](
-            self.left.eval_row(row, params), self.right.eval_row(row, params)
-        )
+        left = self.left.eval_row(row, params)
+        right = self.right.eval_row(row, params)
+        if is_null(left) or is_null(right):
+            return None
+        return _ARITH_OPS[self.op](left, right)
 
     def infer_dtype(
         self, dtype_of: Callable[[str], DataType], params: Mapping[str, Any]
@@ -386,10 +474,19 @@ class InSet(Expr):
         else:
             lookup = np.asarray(sorted(values)) if values else np.empty(0, operand.dtype)
             mask = np.isin(operand, lookup)
+        nulls = self.operand.null_block(resolver, params)
+        if nulls is not None:
+            # A NULL operand is never a member — without the mask, the
+            # inert fill under an invalid numeric slot could collide with a
+            # legitimate set element (the sentinel bug class, container
+            # edition).  NOT IN therefore yields True for NULLs, matching
+            # the row path's `None in set` → False.
+            mask = mask & ~nulls
         return ~mask if self.negate else mask
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
-        member = self.operand.eval_row(row, params) in self._value_set(params)
+        operand = self.operand.eval_row(row, params)
+        member = (not is_null(operand)) and operand in self._value_set(params)
         return not member if self.negate else member
 
     def infer_dtype(
@@ -412,16 +509,18 @@ class IsNull(Expr):
 
     def eval_block(self, resolver: ColumnResolver, params: Mapping[str, Any]) -> np.ndarray:
         values = np.asarray(self.operand.eval_block(resolver, params))
-        if values.dtype == object:
-            mask = np.fromiter(
-                (v is None for v in values), dtype=bool, count=len(values)
-            )
-        elif values.dtype.kind == "f":
-            mask = np.isnan(values)
-        elif values.dtype.kind == "i":
-            mask = values == NULL_INT
-        else:
+        nulls = self.operand.null_block(resolver, params)
+        if nulls is None:
             mask = np.zeros(len(values), dtype=bool)
+        elif isinstance(nulls, np.ndarray):
+            mask = nulls
+        else:  # scalar literal/parameter operand
+            mask = np.full(len(values), bool(nulls))
+        if values.dtype.kind == "f":
+            # Deprecated compat reading: float NaN counts as NULL so
+            # computed NaN and validity-less resolvers agree with the row
+            # path's value shim.
+            mask = mask | np.isnan(values)
         return ~mask if self.negate else mask
 
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
@@ -480,13 +579,26 @@ class Func(Expr):
         if self.name in ("year", "month", "day"):
             return _millis_to_unit(np.asarray(args[0]), self.name)
         if self.name == "abs":
-            return np.abs(args[0])
+            with np.errstate(over="ignore"):
+                return np.abs(args[0])
         if self.name == "floor_div_day":
             return np.asarray(args[0]) // MILLIS_PER_DAY
         return np.vectorize(_FUNCS[self.name])(*args)
 
+    def null_block(
+        self, resolver: ColumnResolver, params: Mapping[str, Any]
+    ) -> np.ndarray | bool | None:
+        # Scalar functions propagate NULL from any argument (the satellite
+        # audit: `year(NULL)` used to compute on the int64 fill here).
+        nulls: np.ndarray | bool | None = None
+        for arg in self.args:
+            nulls = combine_nulls(nulls, arg.null_block(resolver, params))
+        return nulls
+
     def eval_row(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
         args = [a.eval_row(row, params) for a in self.args]
+        if any(is_null(arg) for arg in args):
+            return None
         if self.name in ("year", "month", "day"):
             return int(_millis_to_unit(np.asarray([args[0]]), self.name)[0])
         return _FUNCS[self.name](*args)

@@ -111,6 +111,33 @@ class Expand(LogicalOp):
 
 
 @dataclass
+class FilteredNodeScan(LogicalOp):
+    """Zone-map-aware fused NodeScan + GetProperty + Filter.
+
+    Produced by the ``zone_map_scan`` rewrite for predicates of the form
+    ``prop <cmp> literal``.  Executors with columnar storage consult the
+    property column's per-block zone map (min/max/null-count) and never
+    materialize blocks that cannot satisfy the comparison; ``out`` is still
+    emitted so downstream references to the property column keep working.
+    NULL rows never match: the residual predicate is re-evaluated through
+    the standard expression machinery against the column's validity bitmap.
+    """
+
+    var: str
+    label: str
+    prop: str
+    out: str
+    cmp: str  # < | <= | > | >= | ==
+    value: Expr
+
+    _CMPS = ("<", "<=", ">", ">=", "==")
+
+    def __post_init__(self) -> None:
+        if self.cmp not in self._CMPS:
+            raise PlanError(f"unsupported FilteredNodeScan comparison {self.cmp!r}")
+
+
+@dataclass
 class GetProperty(LogicalOp):
     """Append a vertex property of ``var`` as output column ``out``."""
 
@@ -266,7 +293,7 @@ def resolve_labels(plan: LogicalPlan, schema: GraphSchema) -> dict[str, str]:
         labels[op.to_var] = next(iter(destinations))
 
     for op in plan.ops:
-        if isinstance(op, (NodeByIdSeek, NodeScan, NodeByRows)):
+        if isinstance(op, (NodeByIdSeek, NodeScan, NodeByRows, FilteredNodeScan)):
             labels[op.var] = op.label
         elif isinstance(op, Expand):
             bind_expand(op)

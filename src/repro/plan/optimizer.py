@@ -23,17 +23,19 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable
 
-from .expressions import BoolOp
+from .expressions import BoolOp, Cmp, Col
 from .logical import (
     Aggregate,
     AggregateTopK,
     Expand,
     Filter,
+    FilteredNodeScan,
     GetProperty,
     Limit,
     LogicalOp,
     LogicalPlan,
     NodeByIdSeek,
+    NodeScan,
     OrderBy,
     Project,
     TopK,
@@ -118,6 +120,56 @@ def _try_fuse_filter(ops: list[LogicalOp], filter_idx: int) -> list[LogicalOp] |
     return out
 
 
+#: Operand flip for ``literal <op> col`` → ``col <flipped> literal``.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+
+
+def zone_map_scan(plan: LogicalPlan) -> LogicalPlan:
+    """Fuse NodeScan + GetProperty + Filter(prop <cmp> literal) into a
+    :class:`FilteredNodeScan`, letting the executor consult the property
+    column's zone map and skip blocks that cannot satisfy the predicate.
+
+    Only single-comparison predicates against a column-free value (literal,
+    parameter, or expression over them) qualify; anything else is left for
+    the generic Filter path.
+    """
+    ops = list(plan.ops)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(ops) - 2):
+            scan, getter, filt = ops[i], ops[i + 1], ops[i + 2]
+            if not (
+                isinstance(scan, NodeScan)
+                and isinstance(getter, GetProperty)
+                and isinstance(filt, Filter)
+                and getter.var == scan.var
+            ):
+                continue
+            fused = _match_scan_predicate(scan, getter, filt.expr)
+            if fused is None:
+                continue
+            ops = ops[:i] + [fused] + ops[i + 3 :]
+            changed = True
+            break
+    return plan.with_ops(ops)
+
+
+def _match_scan_predicate(
+    scan: NodeScan, getter: GetProperty, expr
+) -> FilteredNodeScan | None:
+    if not isinstance(expr, Cmp) or expr.op not in _FLIP:
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, Col) and left.name == getter.out and not right.columns():
+        cmp, value = expr.op, right
+    elif isinstance(right, Col) and right.name == getter.out and not left.columns():
+        cmp, value = _FLIP[expr.op], left
+    else:
+        return None
+    return FilteredNodeScan(scan.var, scan.label, getter.prop, getter.out, cmp, value)
+
+
 def vertex_expand(plan: LogicalPlan) -> LogicalPlan:
     """Fuse NodeByIdSeek immediately followed by an Expand from its variable."""
     ops: list[LogicalOp] = []
@@ -194,9 +246,11 @@ def top_k(plan: LogicalPlan) -> LogicalPlan:
     return plan.with_ops(ops)
 
 
-#: Rule order matters: pushdown first (it needs the raw Expand/GetProperty
-#: shape), then seek fusion, then the aggregation/top-k fusions.
+#: Rule order matters: scan fusion and pushdown first (they need the raw
+#: Scan/Expand/GetProperty shape), then seek fusion, then the
+#: aggregation/top-k fusions.
 DEFAULT_RULES: list[RewriteRule] = [
+    zone_map_scan,
     filter_push_down,
     vertex_expand,
     aggregate_project_top,

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import StorageError
 from .catalog import AdjacencyKey, PropertyDef
+from .validity import pack_values
 
 #: Tombstone marker inside ``targets`` ("marking for deletion", paper §5).
 TOMBSTONE = np.int64(-1)
@@ -80,6 +81,11 @@ class AdjacencyList:
         self._props: dict[str, np.ndarray] = {
             p.name: np.empty(_INITIAL_DATA_CAPACITY, dtype=p.dtype.numpy_dtype)
             for p in self.property_defs
+        }
+        # Per-property validity bitmaps aligned with the prop arrays; None
+        # means "every slot valid" (lazily materialized on the first NULL).
+        self._prop_valid: dict[str, np.ndarray | None] = {
+            p.name: None for p in self.property_defs
         }
         self._data_length = 0  # high-water mark within adjArray
         self._has_tombstones = False
@@ -234,18 +240,25 @@ class AdjacencyList:
         return int(self._targets[slot])
 
     def prop_at(self, name: str, slot: int) -> Any:
-        """Edge property *name* of the edge in slot *slot*."""
+        """Edge property *name* of the edge in slot *slot* (None when NULL)."""
         try:
             array = self._props[name]
         except KeyError:
             raise StorageError(
                 f"adjacency {self.key} has no edge property {name!r}"
             ) from None
+        valid = self._prop_valid.get(name)
+        if valid is not None and not valid[slot]:
+            return None
         value = array[slot]
         return value.item() if isinstance(value, np.generic) else value
 
     def gather_prop(self, name: str, slots: np.ndarray) -> np.ndarray:
-        """Vectorized edge-property fetch for many slots."""
+        """Vectorized edge-property fetch for many slots (raw values).
+
+        Invalid slots hold the dtype's inert fill; pair with
+        :meth:`gather_prop_validity` when NULLness matters downstream.
+        """
         try:
             return self._props[name][slots]
         except KeyError:
@@ -253,10 +266,23 @@ class AdjacencyList:
                 f"adjacency {self.key} has no edge property {name!r}"
             ) from None
 
-    def export_edges(self) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
-        """Live edges as parallel (src_rows, dst_rows, props) arrays.
+    def gather_prop_validity(self, name: str, slots: np.ndarray) -> np.ndarray | None:
+        """Validity bits for edge property *name* at *slots* (None = all valid)."""
+        if name not in self._props:
+            raise StorageError(f"adjacency {self.key} has no edge property {name!r}")
+        valid = self._prop_valid.get(name)
+        if valid is None:
+            return None
+        return valid[slots]
 
-        Tombstoned and version-deleted edges are excluded; the inverse of
+    def export_edges(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Live edges as parallel (src_rows, dst_rows, props, validity) arrays.
+
+        ``validity`` holds a bool array per property that has at least one
+        NULL slot (all-valid properties are omitted).  Tombstoned and
+        version-deleted edges are excluded; the inverse of
         :meth:`bulk_load`, used by graph snapshots.
         """
         lengths = self._lengths[: self._num_src].astype(np.int64)
@@ -274,7 +300,12 @@ class AdjacencyList:
         props = {
             name: array[slots][mask] for name, array in self._props.items()
         }
-        return src[mask], targets[mask], props
+        validity = {
+            name: valid[slots][mask]
+            for name, valid in self._prop_valid.items()
+            if valid is not None
+        }
+        return src[mask], targets[mask], props, validity
 
     # -- bulk load -----------------------------------------------------------
 
@@ -284,12 +315,16 @@ class AdjacencyList:
         src_rows: np.ndarray,
         dst_rows: np.ndarray,
         props: Mapping[str, np.ndarray] | None = None,
+        props_validity: Mapping[str, np.ndarray] | None = None,
     ) -> None:
         """Build the CSR-like layout from parallel edge arrays.
 
         Edges are grouped by source row; within a group the input order is
         preserved.  No slack capacity is reserved — updates that overflow a
-        slot relocate it, per the paper's growth scheme.
+        slot relocate it, per the paper's growth scheme.  NULL edge
+        properties arrive as ``None`` holes (or float NaN) in *props*, or as
+        explicit bitmasks in *props_validity*; either way they land in the
+        per-property validity bitmaps, never as sentinel values.
         """
         props = props or {}
         if len(src_rows) != len(dst_rows):
@@ -323,15 +358,25 @@ class AdjacencyList:
         self._targets = sorted_dst.copy()
         self._data_length = len(sorted_dst)
         self._props = {}
+        self._prop_valid = {}
         for prop_def in self.property_defs:
             if prop_def.name in props:
-                values = np.asarray(props[prop_def.name], dtype=prop_def.dtype.numpy_dtype)
+                values, mask = pack_values(props[prop_def.name], prop_def.dtype)
+                explicit = (props_validity or {}).get(prop_def.name)
+                if explicit is not None:
+                    explicit = np.asarray(explicit, dtype=bool)
+                    mask = explicit if mask is None else (mask & explicit)
                 self._props[prop_def.name] = values[order].copy()
+                if mask is not None and not mask.all():
+                    self._prop_valid[prop_def.name] = mask[order].copy()
+                else:
+                    self._prop_valid[prop_def.name] = None
             else:
                 filler = np.full(
-                    len(sorted_dst), prop_def.dtype.null_value(), dtype=prop_def.dtype.numpy_dtype
+                    len(sorted_dst), prop_def.dtype.fill_value(), dtype=prop_def.dtype.numpy_dtype
                 )
                 self._props[prop_def.name] = filler
+                self._prop_valid[prop_def.name] = np.zeros(len(sorted_dst), dtype=bool)
         self._has_tombstones = False
         self._created = None
         self._deleted = None
@@ -368,6 +413,12 @@ class AdjacencyList:
             grown_prop = np.empty(capacity, dtype=array.dtype)
             grown_prop[: self._data_length] = array[: self._data_length]
             self._props[name] = grown_prop
+        for name, valid in self._prop_valid.items():
+            if valid is None:
+                continue
+            grown_valid = np.ones(capacity, dtype=bool)
+            grown_valid[: self._data_length] = valid[: self._data_length]
+            self._prop_valid[name] = grown_valid
         if self._created is not None:
             assert self._deleted is not None
             grown_created = np.zeros(capacity, dtype=np.int64)
@@ -388,6 +439,10 @@ class AdjacencyList:
         ]
         for array in self._props.values():
             array[new_start : new_start + length] = array[old_start : old_start + length]
+        for valid in self._prop_valid.values():
+            if valid is None:
+                continue
+            valid[new_start : new_start + length] = valid[old_start : old_start + length]
         if self._created is not None:
             assert self._deleted is not None
             self._created[new_start : new_start + length] = self._created[
@@ -399,6 +454,17 @@ class AdjacencyList:
         self._offsets[src_row] = new_start
         self._capacities[src_row] = new_capacity
         self._data_length = new_start + new_capacity
+
+    def _set_prop_slot(self, name: str, slot: int, value: Any, valid: bool) -> None:
+        """Write one edge-property slot, maintaining its validity bitmap."""
+        self._props[name][slot] = value
+        bitmap = self._prop_valid[name]
+        if bitmap is None:
+            if valid:
+                return
+            bitmap = np.ones(len(self._props[name]), dtype=bool)
+            self._prop_valid[name] = bitmap
+        bitmap[slot] = valid
 
     def add_edge(
         self,
@@ -419,9 +485,10 @@ class AdjacencyList:
         self._targets[slot] = dst_row
         for prop_def in self.property_defs:
             value = (props or {}).get(prop_def.name)
-            if value is None:
-                value = prop_def.dtype.null_value()
-            self._props[prop_def.name][slot] = value
+            valid = value is not None
+            if not valid:
+                value = prop_def.dtype.fill_value()
+            self._set_prop_slot(prop_def.name, slot, value, valid)
         if self._created is not None:
             assert self._deleted is not None
             self._created[slot] = 0 if version is None else version

@@ -150,9 +150,18 @@ class GraphStore:
 
     # -- bulk load -----------------------------------------------------------
 
-    def bulk_load_vertices(self, label: str, columns: Mapping[str, np.ndarray | list]) -> None:
-        """Replace *label*'s table contents from aligned column arrays."""
-        self.table(label).bulk_load(columns)
+    def bulk_load_vertices(
+        self,
+        label: str,
+        columns: Mapping[str, np.ndarray | list],
+        validity: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        """Replace *label*'s table contents from aligned column arrays.
+
+        NULLs arrive as ``None`` holes (or float NaN) in *columns*, or as
+        explicit per-column bitmasks in *validity* (the snapshot path).
+        """
+        self.table(label).bulk_load(columns, validity=validity)
 
     def bulk_load_edges(
         self,
@@ -162,16 +171,17 @@ class GraphStore:
         src_rows: np.ndarray,
         dst_rows: np.ndarray,
         props: Mapping[str, np.ndarray] | None = None,
+        props_validity: Mapping[str, np.ndarray] | None = None,
     ) -> None:
         """CSR-build both directions of one edge definition."""
         self.schema.edge_definition(edge_label, src_label, dst_label)
         out_key = AdjacencyKey(src_label, edge_label, dst_label, Direction.OUT)
         in_key = out_key.reversed()
         self._adjacency[out_key].bulk_load(
-            len(self.table(src_label)), src_rows, dst_rows, props
+            len(self.table(src_label)), src_rows, dst_rows, props, props_validity
         )
         self._adjacency[in_key].bulk_load(
-            len(self.table(dst_label)), dst_rows, src_rows, props
+            len(self.table(dst_label)), dst_rows, src_rows, props, props_validity
         )
 
     # -- views -----------------------------------------------------------------
@@ -234,17 +244,48 @@ class GraphReadView:
         return self.store.table(label).get_property(row, name)
 
     def gather_properties(self, label: str, name: str, rows: np.ndarray) -> np.ndarray:
-        """Vectorized property fetch, patching copy-on-write overrides."""
-        values = self.store.table(label).gather(name, rows)
+        """Vectorized property fetch (raw values, inert fills under NULLs).
+
+        Prefer :meth:`gather_properties_with_validity` when NULLness matters
+        downstream; this variant only patches copy-on-write overrides into
+        the value array.
+        """
+        values, _ = self.gather_properties_with_validity(label, name, rows)
+        return values
+
+    def gather_properties_with_validity(
+        self, label: str, name: str, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Vectorized property fetch with validity, patching COW overrides.
+
+        Returns ``(values, validity)`` where ``validity`` is ``None`` when
+        every requested row is valid.  Overridden slots whose pre-image is
+        NULL clear the corresponding bit.
+        """
+        column = self.store.table(label).column(name)
+        values = column.gather(rows)
+        validity = column.gather_validity(rows)
         if self.overlay is not None and self.version is not None:
             values = values.copy()
+            validity = (
+                validity.copy()
+                if validity is not None
+                else np.ones(len(rows), dtype=bool)
+            )
             for i, row in enumerate(rows):
                 overridden, value = self.overlay.resolve(
                     label, int(row), name, self.version
                 )
                 if overridden:
-                    values[i] = value
-        return values
+                    if value is None:
+                        validity[i] = False
+                        values[i] = column.dtype.fill_value()
+                    else:
+                        validity[i] = True
+                        values[i] = value
+            if validity.all():
+                validity = None
+        return values, validity
 
     # -- adjacency ----------------------------------------------------------
 

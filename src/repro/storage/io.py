@@ -25,7 +25,12 @@ from ..types import DataType
 from .catalog import EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef
 from .graph import GraphStore
 
-_FORMAT_VERSION = 1
+#: Version 2 adds per-column validity bitmaps (``__valid__<name>`` members);
+#: version-1 snapshots (sentinel era) still load, with every slot valid.
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
+
+_VALID_PREFIX = "__valid__"
 
 
 def _schema_to_dict(schema: GraphSchema) -> dict:
@@ -57,7 +62,7 @@ def _schema_to_dict(schema: GraphSchema) -> dict:
 
 
 def _schema_from_dict(data: dict) -> GraphSchema:
-    if data.get("format") != _FORMAT_VERSION:
+    if data.get("format") not in _SUPPORTED_FORMATS:
         raise StorageError(f"unsupported snapshot format {data.get('format')!r}")
     schema = GraphSchema()
     for label in data["vertex_labels"]:
@@ -89,14 +94,22 @@ def save_graph(store: GraphStore, path: str | Path) -> Path:
 
     for label in store.schema.vertex_labels:
         table = store.table(label)
-        arrays = {name: table.column(name).view() for name in table.column_names}
+        arrays = {}
+        for name in table.column_names:
+            column = table.column(name)
+            arrays[name] = column.view()
+            mask = column.validity_mask()
+            if mask is not None:
+                arrays[_VALID_PREFIX + name] = mask
         np.savez(path / f"vertices_{label}.npz", **arrays)
 
     for i, definition in enumerate(store.schema.iter_edge_definitions()):
         adjacency = store.adjacency(definition.key())
-        src, dst, props = adjacency.export_edges()
+        src, dst, props, validity = adjacency.export_edges()
         arrays = {"__src": src, "__dst": dst}
         arrays.update(props)
+        for name, mask in validity.items():
+            arrays[_VALID_PREFIX + name] = mask
         np.savez(path / f"edges_{i}.npz", **arrays)
     return path
 
@@ -146,9 +159,18 @@ def load_graph(path: str | Path) -> GraphStore:
     store = GraphStore(schema)
 
     for label in schema.vertex_labels:
-        columns = _load_npz(path / f"vertices_{label}.npz")
+        members = _load_npz(path / f"vertices_{label}.npz")
+        columns = {
+            name: array for name, array in members.items()
+            if not name.startswith("__")
+        }
+        validity = {
+            name[len(_VALID_PREFIX):]: array.astype(bool)
+            for name, array in members.items()
+            if name.startswith(_VALID_PREFIX)
+        }
         if columns:
-            store.bulk_load_vertices(label, columns)
+            store.bulk_load_vertices(label, columns, validity=validity or None)
 
     for i, definition in enumerate(schema.iter_edge_definitions()):
         edge_file = path / f"edges_{i}.npz"
@@ -164,8 +186,13 @@ def load_graph(path: str | Path) -> GraphStore:
             name: array for name, array in arrays.items()
             if not name.startswith("__")
         }
+        props_validity = {
+            name[len(_VALID_PREFIX):]: array.astype(bool)
+            for name, array in arrays.items()
+            if name.startswith(_VALID_PREFIX)
+        }
         store.bulk_load_edges(
             definition.name, definition.src_label, definition.dst_label, src, dst,
-            props or None,
+            props or None, props_validity or None,
         )
     return store

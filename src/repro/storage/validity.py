@@ -1,0 +1,317 @@
+"""Validity bitmaps, zone maps, and dictionary helpers for the column store.
+
+This module is the foundation of the sentinel-free NULL representation
+(ROADMAP item 3, after Gupta/Mhedhbi/Salihoglu's columnar graph storage
+design): every property column carries an optional validity bitmap — NULL
+is a bit, never a magic value in the data array.  On top of the bitmap
+representation this module provides
+
+* :class:`ValidityBitmap` — a growable per-column bitmap with an all-valid
+  fast path (no allocation until the first NULL appears);
+* :class:`ZoneMapIndex` — per-block min/max/null-count summaries consulted
+  by filter pushdown to skip whole blocks before materialization, with
+  dirty-block invalidation so updates never yield stale skips;
+* :func:`pack_values` — canonical ingest: converts a possibly-None-bearing
+  (or NaN-bearing, for floats) value sequence into ``(data, validity)``
+  with inert fills under invalid slots.
+
+Dictionary encoding for low-cardinality string columns lives in
+:class:`~repro.storage.properties.PropertyColumn`, which composes these
+pieces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..types import DataType
+
+#: Rows summarized by one zone-map entry.  Small enough that a skipped
+#: block saves real work on LDBC-scale tables, large enough that the
+#: summary arrays stay negligible.
+ZONE_BLOCK_ROWS = 1024
+
+
+class ValidityBitmap:
+    """Growable validity bitmap for one column.
+
+    The common case — a column with no NULLs — allocates nothing: the
+    backing array is created lazily on the first invalid bit.  ``True``
+    means *valid* (value present), matching Arrow's convention.
+    """
+
+    __slots__ = ("_bits", "_length")
+
+    def __init__(self, length: int = 0) -> None:
+        self._length = length
+        self._bits: np.ndarray | None = None  # None == every bit valid
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def all_valid(self) -> bool:
+        return self._bits is None
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self._bits is None else int(self._bits[: self._length].nbytes)
+
+    def _materialize(self, capacity: int) -> np.ndarray:
+        bits = np.ones(max(capacity, self._length, 1), dtype=bool)
+        if self._bits is not None:
+            bits[: len(self._bits)] = self._bits
+        self._bits = bits
+        return bits
+
+    def _ensure_capacity(self, needed: int) -> np.ndarray:
+        assert self._bits is not None
+        if needed > len(self._bits):
+            grown = np.ones(max(len(self._bits) * 2, needed), dtype=bool)
+            grown[: len(self._bits)] = self._bits
+            self._bits = grown
+        return self._bits
+
+    def append(self, valid: bool) -> None:
+        index = self._length
+        self._length += 1
+        if self._bits is None:
+            if valid:
+                return
+            self._materialize(max(2 * index, index + 1))
+        bits = self._ensure_capacity(self._length)
+        bits[index] = valid
+
+    def extend_valid(self, count: int) -> None:
+        start = self._length
+        self._length += count
+        if self._bits is not None:
+            bits = self._ensure_capacity(self._length)
+            bits[start : self._length] = True
+
+    def extend_mask(self, mask: np.ndarray) -> None:
+        start = self._length
+        self._length += len(mask)
+        if self._bits is None:
+            if bool(mask.all()):
+                return
+            self._materialize(max(2 * start, self._length))
+        bits = self._ensure_capacity(self._length)
+        bits[start : self._length] = mask
+
+    def get(self, index: int) -> bool:
+        if self._bits is None:
+            return True
+        return bool(self._bits[index])
+
+    def set(self, index: int, valid: bool) -> None:
+        if self._bits is None:
+            if valid:
+                return
+            self._materialize(max(self._length, index + 1))
+        self._ensure_capacity(max(self._length, index + 1))[index] = valid
+
+    def mask(self) -> np.ndarray | None:
+        """Dense bool mask over the live prefix; ``None`` means all-valid."""
+        if self._bits is None:
+            return None
+        return self._bits[: self._length]
+
+    def gather(self, rows: np.ndarray) -> np.ndarray | None:
+        """Validity bits for *rows*; ``None`` means every one is valid."""
+        if self._bits is None:
+            return None
+        return self._bits[rows]
+
+    def null_count(self) -> int:
+        if self._bits is None:
+            return 0
+        return int(self._length - np.count_nonzero(self._bits[: self._length]))
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray | None, length: int) -> "ValidityBitmap":
+        bitmap = cls(length)
+        if mask is not None and not bool(np.asarray(mask).all()):
+            bits = np.ones(max(length, 1), dtype=bool)
+            bits[:length] = mask
+            bitmap._bits = bits
+        return bitmap
+
+
+def pack_values(
+    values: Iterable[Any] | np.ndarray, dtype: DataType
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Canonical ingest: ``(data, validity-mask-or-None)`` for *values*.
+
+    Accepts Python sequences with ``None`` holes and already-typed NumPy
+    arrays.  For float input, NaN is folded into the validity mask (the
+    store keeps exactly one NULL representation); typed integer input is
+    taken at face value — ``iinfo(int64).min`` is data, not NULL.
+    """
+    np_dtype = dtype.numpy_dtype
+    if isinstance(values, np.ndarray) and values.dtype == np_dtype and np_dtype != object:
+        data = np.array(values)  # defensive copy: the store owns its arrays
+        if dtype is DataType.FLOAT64:
+            nan = np.isnan(data)
+            if nan.any():
+                return data, ~nan
+        return data, None
+
+    items = list(values)
+    mask = np.fromiter(
+        (item is not None for item in items), dtype=bool, count=len(items)
+    )
+    if mask.all():
+        data = np.asarray(items, dtype=np_dtype)
+        if dtype is DataType.FLOAT64:
+            nan = np.isnan(data)
+            if nan.any():
+                return data, ~nan
+        return data, None
+    fill = dtype.fill_value()
+    filled = [fill if item is None else item for item in items]
+    data = np.asarray(filled, dtype=np_dtype)
+    if dtype is DataType.FLOAT64:
+        nan = np.isnan(data)
+        np.logical_and(mask, ~nan, out=mask)
+        data[nan] = np.nan  # canonical fill for invalid float slots
+    return data, mask
+
+
+def unpack_values(
+    data: np.ndarray, validity: np.ndarray | None, dtype: DataType
+) -> list[Any]:
+    """Python-level values with ``None`` holes (result/boundary direction)."""
+    if dtype is DataType.STRING:
+        out = list(data)
+    elif dtype is DataType.FLOAT64:
+        out = [float(v) for v in data]
+    elif dtype is DataType.BOOL:
+        out = [bool(v) for v in data]
+    else:
+        out = [int(v) for v in data]
+    if validity is not None:
+        out = [v if ok else None for v, ok in zip(out, validity)]
+    return out
+
+
+class ZoneMapIndex:
+    """Per-block min/max/null-count summaries over one numeric column.
+
+    ``candidate_blocks`` answers "which blocks *may* contain a row
+    satisfying ``col <op> literal``" — the filter executor materializes
+    only those.  Updates never cause stale answers: ``mark_dirty`` flags
+    the touched block and :meth:`refresh` rebuilds flagged blocks (plus any
+    appended tail) before the next consultation.
+    """
+
+    __slots__ = (
+        "block_rows",
+        "_mins",
+        "_maxs",
+        "_null_counts",
+        "_built_rows",
+        "_dirty",
+        "consultations",
+        "blocks_skipped",
+        "blocks_total",
+    )
+
+    def __init__(self, block_rows: int = ZONE_BLOCK_ROWS) -> None:
+        self.block_rows = int(block_rows)
+        self._mins = np.empty(0, dtype=np.float64)
+        self._maxs = np.empty(0, dtype=np.float64)
+        self._null_counts = np.empty(0, dtype=np.int64)
+        self._built_rows = 0
+        self._dirty: set[int] = set()
+        self.consultations = 0
+        self.blocks_skipped = 0
+        self.blocks_total = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._mins)
+
+    def mark_dirty(self, row: int) -> None:
+        block = row // self.block_rows
+        if block < self.num_blocks:
+            self._dirty.add(block)
+
+    def invalidate(self) -> None:
+        """Forget everything (bulk replacement of the column)."""
+        self._built_rows = 0
+        self._dirty.clear()
+        self._mins = np.empty(0, dtype=np.float64)
+        self._maxs = np.empty(0, dtype=np.float64)
+        self._null_counts = np.empty(0, dtype=np.int64)
+
+    def _rebuild_block(
+        self, block: int, data: np.ndarray, validity: np.ndarray | None
+    ) -> None:
+        lo = block * self.block_rows
+        hi = min(lo + self.block_rows, len(data))
+        chunk = data[lo:hi].astype(np.float64, copy=False)
+        if validity is None:
+            valid = chunk[~np.isnan(chunk)]
+            nulls = len(chunk) - len(valid)
+        else:
+            bits = validity[lo:hi]
+            valid = chunk[bits]
+            valid = valid[~np.isnan(valid)]
+            nulls = len(chunk) - len(valid)
+        if len(valid):
+            self._mins[block] = valid.min()
+            self._maxs[block] = valid.max()
+        else:
+            self._mins[block] = np.inf
+            self._maxs[block] = -np.inf
+        self._null_counts[block] = nulls
+
+    def refresh(self, data: np.ndarray, validity: np.ndarray | None) -> None:
+        """Bring the summaries up to date with the column's live prefix."""
+        rows = len(data)
+        blocks = -(-rows // self.block_rows) if rows else 0
+        if blocks != self.num_blocks:
+            for arrays in ("_mins", "_maxs", "_null_counts"):
+                old = getattr(self, arrays)
+                dtype = old.dtype
+                grown = np.empty(blocks, dtype=dtype)
+                grown[: min(len(old), blocks)] = old[: min(len(old), blocks)]
+                setattr(self, arrays, grown)
+        first_new = self._built_rows // self.block_rows
+        rebuild = set(range(first_new, blocks))
+        rebuild.update(b for b in self._dirty if b < blocks)
+        for block in rebuild:
+            self._rebuild_block(block, data, validity)
+        self._built_rows = rows
+        self._dirty.clear()
+
+    def candidate_blocks(self, op: str, value: float) -> np.ndarray:
+        """Bool array over blocks: True where the block may satisfy the op.
+
+        Unknown operators conservatively return all-True.  NULL rows never
+        satisfy a comparison, so an all-NULL block is always skippable.
+        """
+        self.consultations += 1
+        self.blocks_total += self.num_blocks
+        mins, maxs = self._mins, self._maxs
+        nonempty = mins <= maxs  # blocks with at least one valid value
+        if op == "<":
+            keep = nonempty & (mins < value)
+        elif op == "<=":
+            keep = nonempty & (mins <= value)
+        elif op == ">":
+            keep = nonempty & (maxs > value)
+        elif op == ">=":
+            keep = nonempty & (maxs >= value)
+        elif op == "==":
+            keep = nonempty & (mins <= value) & (maxs >= value)
+        else:
+            keep = np.ones(self.num_blocks, dtype=bool)
+        self.blocks_skipped += int(self.num_blocks - np.count_nonzero(keep))
+        return keep
+
+    def block_null_count(self, block: int) -> int:
+        return int(self._null_counts[block])

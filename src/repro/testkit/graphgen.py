@@ -299,13 +299,9 @@ def store_from_spec(spec: GraphSpec) -> GraphStore:
     store = GraphStore(schema)
     for label, columns in spec.vertices.items():
         vdef = schema.vertex_label(label)
-        arrays = {}
-        for prop in vdef.properties:
-            values = [
-                prop.dtype.null_value() if v is None else v
-                for v in columns[prop.name]
-            ]
-            arrays[prop.name] = np.asarray(values, dtype=prop.dtype.numpy_dtype)
+        # Raw None-bearing lists: pack_values in the storage layer turns
+        # the holes into cleared validity bits over inert fills.
+        arrays = {prop.name: columns[prop.name] for prop in vdef.properties}
         store.bulk_load_vertices(label, arrays)
     for edge in spec.edges:
         edef = schema.edge_definition(
@@ -313,13 +309,9 @@ def store_from_spec(spec: GraphSpec) -> GraphStore:
         )
         props = None
         if edef.properties and edge["src"]:
-            props = {}
-            for prop in edef.properties:
-                values = [
-                    prop.dtype.null_value() if v is None else v
-                    for v in edge["props"][prop.name]
-                ]
-                props[prop.name] = np.asarray(values, dtype=prop.dtype.numpy_dtype)
+            props = {
+                prop.name: edge["props"][prop.name] for prop in edef.properties
+            }
         store.bulk_load_edges(
             edge["label"],
             edge["src_label"],

@@ -30,7 +30,9 @@ class VertexSnapshot:
     to the pool once no snapshot reader can need this version anymore.
     """
 
-    __slots__ = ("label", "row", "_int_names", "_int_buffer", "_others", "_pool")
+    __slots__ = (
+        "label", "row", "_int_names", "_int_valid", "_int_buffer", "_others", "_pool"
+    )
 
     def __init__(self, table: VertexTable, row: int, pool: MemoryPool) -> None:
         self.label = table.label
@@ -46,8 +48,14 @@ class VertexSnapshot:
                 others[name] = column.get(row)
         self._int_names = int_names
         self._int_buffer = pool.acquire(max(len(int_names), 1), DataType.INT64)
+        self._int_valid: list[bool] = []
         for i, name in enumerate(int_names):
-            self._int_buffer[i] = table.column(name).get(row)
+            column = table.column(name)
+            valid = column.is_valid(row)
+            self._int_valid.append(valid)
+            self._int_buffer[i] = (
+                column.get(row) if valid else column.dtype.fill_value()
+            )
         self._others = others
 
     def get(self, name: str) -> tuple[bool, Any]:
@@ -58,6 +66,8 @@ class VertexSnapshot:
             if name in self._others:
                 return True, self._others[name]
             return False, None
+        if not self._int_valid[idx]:
+            return True, None
         return True, int(self._int_buffer[idx])
 
     def release(self) -> None:

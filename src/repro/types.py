@@ -15,11 +15,25 @@ from typing import Any
 
 import numpy as np
 
-#: Sentinel stored in int64 columns for SQL-style NULL.
+# -- deprecated sentinel shim -------------------------------------------------
+#
+# Historic versions of the engine encoded NULL *in the data*: int64 columns
+# used ``iinfo(int64).min`` and float columns used NaN.  That convention was
+# a standing bug class (fuzzer/chaos campaigns kept finding sentinels leaking
+# into aggregates, comparisons, and result rows), and the store now carries an
+# explicit validity bitmap per column instead: NULL is a bit, never a value.
+#
+# The two names below survive only as a compatibility shim so external code
+# and old snapshots keep importing; nothing inside ``src/`` may reference
+# them outside this module (enforced by a guard test).  ``iinfo(int64).min``
+# is legitimate data now.
+
+#: Deprecated. Former int64 NULL sentinel; retained only as the inert fill
+#: value written under invalid slots (keeps legacy sort-key tricks working).
 NULL_INT = np.iinfo(np.int64).min
 
-#: Sentinel stored in float64 columns for NULL (NaN compares unequal, which
-#: is exactly the semantics we want for filters).
+#: Deprecated. Former float64 NULL sentinel; retained only as the inert fill
+#: value written under invalid slots.
 NULL_FLOAT = float("nan")
 
 
@@ -43,8 +57,16 @@ class DataType(enum.Enum):
         """True when the column physically stores int64 values."""
         return self in (DataType.INT64, DataType.DATE, DataType.TIMESTAMP)
 
-    def null_value(self) -> Any:
-        """Sentinel representing NULL in a column of this type."""
+    def fill_value(self) -> Any:
+        """Inert value written under *invalid* slots of a column.
+
+        With validity bitmaps the fill carries no NULL semantics — it only
+        has to be storable in the physical dtype and behave benignly in
+        vectorized kernels that run before masking.  The historic sentinel
+        values are kept because they sort NULLs consistently (int64 min is
+        the smallest key; NaN sorts last under argsort) without any extra
+        branching in the sort paths.
+        """
         if self.is_integer_backed:
             return NULL_INT
         if self is DataType.FLOAT64:
@@ -52,6 +74,14 @@ class DataType(enum.Enum):
         if self is DataType.BOOL:
             return False
         return None
+
+    def null_value(self) -> Any:
+        """Deprecated alias of :meth:`fill_value`.
+
+        Kept for external callers written against the sentinel-era API; the
+        returned value no longer *means* NULL anywhere in the engine.
+        """
+        return self.fill_value()
 
 
 _NUMPY_DTYPES = {
@@ -105,13 +135,21 @@ def infer_data_type(value: Any) -> DataType:
     raise TypeError(f"cannot infer DataType for {value!r} ({type(value).__name__})")
 
 
-def is_null(value: Any, dtype: DataType | None = None) -> bool:
-    """True when *value* is the NULL representation for its (or any) type."""
+def is_null(
+    value: Any, dtype: DataType | None = None, valid: bool | None = None
+) -> bool:
+    """True when *value* is NULL.
+
+    When *valid* is supplied (a validity bit read alongside the value) it is
+    the **source of truth** and the value itself is never inspected.  The
+    value-based fallback is a deprecated shim for callers that only hold a
+    bare Python value: ``None`` and float NaN are NULL, everything else —
+    including ``iinfo(int64).min``, which is legitimate data — is not.
+    """
+    if valid is not None:
+        return not valid
     if value is None:
         return True
-    if isinstance(value, float) and value != value:  # NaN
+    if isinstance(value, (float, np.floating)) and value != value:  # NaN
         return True
-    if isinstance(value, (int, np.integer)) and int(value) == NULL_INT:
-        if dtype is None or dtype.is_integer_backed:
-            return True
     return False

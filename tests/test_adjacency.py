@@ -149,11 +149,11 @@ class TestUpdates:
         assert adj.prop_at("w", slot) == 42
 
     def test_add_edge_missing_prop_is_null(self):
-        from repro.types import NULL_INT
-
         adj = make_list(num_src=1, props=[PropertyDef("w", DataType.INT64)])
         slot = adj.add_edge(0, 3)
-        assert adj.prop_at("w", slot) == NULL_INT
+        assert adj.prop_at("w", slot) is None
+        validity = adj.gather_prop_validity("w", np.asarray([slot]))
+        assert validity is not None and not validity[0]
 
 
 class TestVersioning:

@@ -31,16 +31,27 @@ class TestVectorizedSingleHop:
         assert out.counts.tolist() == [2, 2, 1]
         assert out.neighbors.tolist() == [1, 2, 3, 0, 1]
 
-    def test_null_and_out_of_range_sources(self, micro_store):
+    def test_out_of_range_sources(self, micro_store):
         view = micro_store.read_view()
-        out = _vectorized_single_hop(view, KNOWS, np.asarray([NULL_INT, 0, 999]), {})
-        assert out.counts.tolist() == [0, 2, 0]
+        out = _vectorized_single_hop(view, KNOWS, np.asarray([0, 999]), {})
+        assert out.counts.tolist() == [2, 0]
+
+    def test_null_sources_skipped_via_validity(self, micro_store):
+        view = micro_store.read_view()
+        op = Expand("p", "f", "KNOWS", Direction.OUT)
+        out = expand_batch(
+            view, op, np.asarray([NULL_INT, 0], dtype=np.int64), "Person",
+            "Person", {}, from_validity=np.asarray([False, True]),
+        )
+        assert out.counts.tolist() == [0, 2]
+        assert out.neighbors.tolist() == [1, 2]
 
     def test_edge_props_aligned(self, micro_store):
         view = micro_store.read_view()
         out = _vectorized_single_hop(view, KNOWS, np.asarray([0]), {"since": "since"})
-        dtype, values = out.extra["since"]
+        dtype, values, validity = out.extra["since"]
         assert values.tolist() == [10, 20]
+        assert validity is None
 
     def test_empty_batch(self, micro_store):
         view = micro_store.read_view()
@@ -80,7 +91,8 @@ class TestExpandBatch:
                     optional=True)
         out = batch(micro_store, op, [0, 1], to_label="Message")
         assert out.counts.tolist() == [1, 1]
-        assert out.neighbors[0] == NULL_INT
+        # The padded row is NULL via validity, not a sentinel row id.
+        assert out.validity.tolist() == [False, True]
         assert out.neighbors[1] == 0  # message m0 by person 1
 
     def test_optional_padding_fills_extra_columns(self, micro_store):
@@ -95,8 +107,8 @@ class TestExpandBatch:
         )
         out = batch(micro_store, op, [0])
         assert out.counts.tolist() == [1]
-        assert out.neighbors[0] == NULL_INT
-        assert out.extra["age"][1][0] == NULL_INT
+        assert out.validity.tolist() == [False]
+        assert out.extra["age"][2].tolist() == [False]
 
 
 class TestMultiHop:

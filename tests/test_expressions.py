@@ -24,9 +24,14 @@ from repro.types import DataType, NULL_INT, date_millis
 
 
 class DictResolver:
-    def __init__(self, arrays, dtypes=None):
+    """Test resolver: NULL is a cleared validity bit, never a magic value."""
+
+    def __init__(self, arrays, dtypes=None, validity=None):
         self._arrays = {k: np.asarray(v) for k, v in arrays.items()}
         self._dtypes = dtypes or {}
+        self._validity = {
+            k: np.asarray(v, dtype=bool) for k, v in (validity or {}).items()
+        }
 
     def resolve(self, name):
         return self._arrays[name]
@@ -34,8 +39,16 @@ class DictResolver:
     def dtype_of(self, name):
         return self._dtypes.get(name, DataType.INT64)
 
+    def validity_of(self, name):
+        return self._validity.get(name)
 
-RESOLVER = DictResolver({"a": [1, 2, 3, NULL_INT], "b": [3, 2, 1, 5]})
+
+# Column "a" has a NULL in its last slot, expressed via validity; the backing
+# array keeps the legacy int sentinel as an inert fill value.
+RESOLVER = DictResolver(
+    {"a": [1, 2, 3, NULL_INT], "b": [3, 2, 1, 5]},
+    validity={"a": [True, True, True, False]},
+)
 
 
 class TestBasics:
@@ -171,9 +184,16 @@ class TestInSet:
 
 
 class TestIsNull:
-    def test_int_sentinel(self):
+    def test_validity_bit(self):
         out = IsNull(Col("a")).eval_block(RESOLVER, {})
         assert out.tolist() == [False, False, False, True]
+
+    def test_int_sentinel_value_is_data(self):
+        # Regression: a legitimate int64-min value with its validity bit set
+        # must NOT be treated as NULL (the old sentinel convention is dead).
+        resolver = DictResolver({"a": [1, NULL_INT, 3]})
+        out = IsNull(Col("a")).eval_block(resolver, {})
+        assert out.tolist() == [False, False, False]
 
     def test_negated(self):
         out = IsNull(Col("a"), negate=True).eval_block(RESOLVER, {})

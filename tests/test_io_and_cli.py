@@ -58,9 +58,10 @@ class TestSnapshots:
 
     def test_export_edges_shape(self, micro_store):
         key = AdjacencyKey("Message", "HAS_CREATOR", "Person", Direction.OUT)
-        src, dst, props = micro_store.adjacency(key).export_edges()
+        src, dst, props, validity = micro_store.adjacency(key).export_edges()
         assert len(src) == len(dst) == 6
         assert props == {}
+        assert validity == {}
 
 
 class TestCli:

@@ -35,12 +35,12 @@ class TestPropertyColumn:
         assert len(col) == 100
         assert col.get(99) == 99
 
-    def test_null_append_uses_sentinel(self):
+    def test_null_append_clears_validity(self):
         col = PropertyColumn("x", DataType.INT64)
         col.append(None)
-        from repro.types import NULL_INT
-
-        assert col.get(0) == NULL_INT
+        assert col.get(0) is None
+        assert not col.is_valid(0)
+        assert col.null_count == 1
 
     def test_string_column(self):
         col = PropertyColumn("x", DataType.STRING)

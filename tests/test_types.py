@@ -31,7 +31,9 @@ class TestDataType:
     def test_float_not_integer_backed(self):
         assert not DataType.FLOAT64.is_integer_backed
 
-    def test_null_value_int(self):
+    def test_fill_value_int_is_legacy_sentinel(self):
+        # The deprecated null_value() shim delegates to fill_value().
+        assert DataType.INT64.fill_value() == NULL_INT
         assert DataType.INT64.null_value() == NULL_INT
 
     def test_null_value_string(self):
@@ -94,8 +96,15 @@ class TestIsNull:
     def test_nan(self):
         assert is_null(float("nan"))
 
-    def test_sentinel(self):
-        assert is_null(NULL_INT)
+    def test_int_sentinel_value_is_data(self):
+        # Regression for the sentinel bug class: int64-min is legitimate
+        # data; only a cleared validity bit (or None/NaN) marks NULL.
+        assert not is_null(NULL_INT)
+        assert not is_null(NULL_INT, DataType.INT64)
+
+    def test_explicit_validity_wins(self):
+        assert is_null(7, valid=False)
+        assert not is_null(NULL_INT, valid=True)
 
     def test_regular_int(self):
         assert not is_null(0)
