@@ -51,11 +51,15 @@ def _resolve_store(args: argparse.Namespace) -> tuple[GraphStore, object | None]
     return dataset.store, dataset
 
 
-def _make_engine(store: GraphStore, variant: str, plan_cache: bool = True):
+def _make_engine(
+    store: GraphStore, variant: str, plan_cache: bool = True, workers: int = 1
+):
     if variant == "Volcano":
+        if workers > 1:
+            raise SystemExit("the Volcano baseline has no worker pool")
         return VolcanoEngine(store)
     try:
-        config = VARIANTS[variant](plan_cache=plan_cache)
+        config = VARIANTS[variant](plan_cache=plan_cache, workers=workers)
     except KeyError:
         raise SystemExit(
             f"unknown variant {variant!r}; choose from {sorted(VARIANTS)} or Volcano"
@@ -84,7 +88,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     """Run one Cypher query and print rows (stats go to stderr)."""
     store, _ = _resolve_store(args)
-    engine = _make_engine(store, args.variant, plan_cache=not args.no_plan_cache)
+    engine = _make_engine(
+        store,
+        args.variant,
+        plan_cache=not args.no_plan_cache,
+        workers=args.workers,
+    )
     if engine.variant == "Volcano":
         raise SystemExit("the Volcano baseline takes logical plans, not Cypher")
     params = _parse_params(args.param)
@@ -106,13 +115,30 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"peak intermediate {result.stats.peak_intermediate_bytes} B",
         file=sys.stderr,
     )
+    if getattr(engine, "parallel", None) is not None:
+        routing = engine.parallel.describe()
+        print(
+            f"-- pool: {routing['workers']} workers, "
+            f"{routing['scatter_queries']} scatter / "
+            f"{routing['whole_queries']} whole, "
+            f"{routing['fallbacks']} fallbacks",
+            file=sys.stderr,
+        )
+    close = getattr(engine, "close", None)
+    if close is not None:
+        close()
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the LDBC driver and print the throughput report."""
     dataset = generate(args.scale, seed=args.seed)
-    engine = _make_engine(dataset.store, args.variant, plan_cache=not args.no_plan_cache)
+    engine = _make_engine(
+        dataset.store,
+        args.variant,
+        plan_cache=not args.no_plan_cache,
+        workers=args.workers,
+    )
     driver = BenchmarkDriver(engine, dataset, seed=args.seed)
     report = driver.run(num_operations=args.ops)
     print(
@@ -142,6 +168,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
     else:
         print("  plan cache: disabled")
+    if getattr(engine, "parallel", None) is not None:
+        routing = engine.parallel.describe()
+        print(
+            f"  pool: {routing['workers']} workers, "
+            f"{routing['pooled_queries']} pooled queries "
+            f"({routing['scatter_queries']} scatter), "
+            f"{routing['fallbacks']} fallbacks"
+        )
+    close = getattr(engine, "close", None)
+    if close is not None:
+        close()
     return 0
 
 
@@ -454,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--param", action="append", metavar="NAME=VALUE")
     query.add_argument("--format", choices=("table", "json"), default="table")
     query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for scatter-gather execution (1 = in-process)",
+    )
+    query.add_argument(
         "--no-plan-cache", action="store_true", help="disable the plan cache (ablation)"
     )
     query.set_defaults(fn=cmd_query)
@@ -463,7 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--ops", type=int, default=200)
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--variant", default="GES_f*")
-    bench.add_argument("--workers", type=int, default=1)
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes: pools the engine and scales the TCR score",
+    )
     bench.add_argument(
         "--no-plan-cache", action="store_true", help="disable the plan cache (ablation)"
     )

@@ -22,7 +22,12 @@ class EngineConfig:
     primitives: str = "f-tree"  # execution.primitives module
     parser: str = "cypher"  # frontend.parser module
     storage_backend: str = "adjacency-inmemory"
-    workers: int = 1  # inter-query parallelism
+    workers: int = 1  # worker processes for pooled execution (1 = in-process)
+    # --- pooled-execution knobs (repro.parallel; active when workers > 1) ---
+    partitions: int = 0  # scatter partitions per query (0 = one per worker)
+    partition_kind: str = "range"  # "range" (byte-identical) | "hash"
+    scatter_min_rows: int = 64  # below this source size, skip scatter
+    pool_task_timeout_ms: float = 120_000.0  # pipe-level backstop per task
     plan_cache: bool = True  # cache compiled physical plans (ablation knob)
     plan_cache_size: int = 128  # LRU capacity when the cache is enabled
     tracing: bool = False  # per-query span trees (repro.obs.tracing)

@@ -59,6 +59,23 @@ def execute_flat(
     stats: ExecStats | None = None,
 ) -> QueryResult:
     """Run *plan* with flat (fully materialized) intermediate results."""
+    block, ctx = execute_flat_block(plan, view, params, stats)
+    return result_from_flat(block, plan.returns, ctx.stats)
+
+
+def execute_flat_block(
+    plan: LogicalPlan,
+    view: GraphReadView,
+    params: Mapping[str, Any] | None = None,
+    stats: ExecStats | None = None,
+) -> tuple[FlatBlock, ExecutionContext]:
+    """Run *plan* and return the final block before the result boundary.
+
+    The pooled scatter-gather path uses this entry point: workers execute a
+    partition-local plan and ship the raw block (arrays + validity) back to
+    the coordinator, which concatenates partials and keeps executing — so
+    no rows are forced through the Python-tuple result boundary mid-plan.
+    """
     ctx = ExecutionContext(view, params, stats)
     ctx.var_labels = resolve_labels(plan, view.schema)
     if ctx.tracing:
@@ -85,7 +102,7 @@ def execute_flat(
             ctx.stats.trace.end(
                 peak_bytes=ctx.stats.peak_intermediate_bytes, variant="flat"
             )
-    return result_from_flat(block, plan.returns, ctx.stats)
+    return block, ctx
 
 
 def dispatch_flat(block: FlatBlock | None, op: LogicalOp, ctx: ExecutionContext) -> FlatBlock:

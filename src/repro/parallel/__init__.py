@@ -1,0 +1,38 @@
+"""Multi-core execution: shared-memory snapshots + a worker-process pool.
+
+The engine stays single-writer, but read queries can run on a pool of
+worker processes that attach the pinned snapshot's columns, validity
+bitmaps, and CSR adjacency arrays directly out of
+``multiprocessing.shared_memory`` — zero-copy for every fixed-width
+array.  Heavy scans are additionally partitioned across workers with a
+scatter-gather combine at the coordinator.
+
+Layout:
+
+- :mod:`.shm` — snapshot export/attach + refcounted segment lifecycle.
+- :mod:`.pool` — persistent worker processes and the task protocol.
+- :mod:`.partition` — vertex partitioning and scatter-plan analysis.
+- :mod:`.coordinator` — routing, scatter-gather, merge, and fallback.
+"""
+
+from .coordinator import ParallelCoordinator
+from .pool import WorkerPool, shared_pool, shutdown_shared_pools
+from .shm import (
+    SEGMENT_PREFIX,
+    SnapshotExporter,
+    attach_snapshot,
+    export_view,
+    system_segment_names,
+)
+
+__all__ = [
+    "ParallelCoordinator",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "SEGMENT_PREFIX",
+    "SnapshotExporter",
+    "attach_snapshot",
+    "export_view",
+    "system_segment_names",
+]

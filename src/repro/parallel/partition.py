@@ -1,0 +1,183 @@
+"""Vertex partitioning and scatter-plan analysis.
+
+A plan is scatterable when it starts from a row source the coordinator can
+enumerate (``NodeScan`` / ``NodeByRows``) followed by a **row-local**
+prefix — operators whose every output row derives from exactly one source
+row (``Expand`` in all its variants, ``GetProperty``, ``Filter``,
+``Project``).  Partitioning the source rows and concatenating the
+partition outputs in partition order then reproduces the in-process
+prefix block *byte for byte* under range partitioning, because range
+partitions are contiguous chunks of the scan order.
+
+The tail (everything after the prefix) is re-run at the coordinator over
+the merged partials, which keeps semantics exact for arbitrary tails.  To
+shrink what workers ship back, known tail heads are additionally **pushed
+down**:
+
+* ``TopK`` / ``OrderBy``+``Limit`` / ``Limit`` — each partition returns
+  its local top-k/first-n; the global winner set is provably contained in
+  the union, and the coordinator's re-run selects it with identical
+  tie-breaks (stable sort over scan-ordered candidates).
+* ``Distinct`` — local distinct preserves first occurrences per chunk;
+  the coordinator's re-distinct restores global first-occurrence order.
+* ``Aggregate`` with every function in :data:`COMBINABLE_AGG_FNS` — local
+  aggregation plus an order-preserving partial merge at the coordinator.
+  ``sum``/``avg`` are deliberately excluded: float accumulation order
+  would break byte-identity across partition counts.
+
+Hash partitioning interleaves scan order, so it only admits
+order-insensitive tails (no Limit/TopK/OrderBy anywhere); range is the
+default and the only mode with byte-identical results guaranteed across
+worker and partition counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..plan.logical import (
+    Aggregate,
+    AggregateTopK,
+    Distinct,
+    Expand,
+    Filter,
+    GetProperty,
+    Limit,
+    LogicalOp,
+    LogicalPlan,
+    NodeByRows,
+    NodeScan,
+    OrderBy,
+    Project,
+    TopK,
+)
+
+#: Aggregate functions with an exact, order-insensitive partial merge.
+COMBINABLE_AGG_FNS = frozenset({"count", "min", "max"})
+
+#: Operators whose output rows each derive from exactly one input row.
+_ROW_LOCAL = (Expand, GetProperty, Filter, Project)
+
+#: Operators that make a tail order-sensitive (hash partitioning rejects).
+_ORDER_SENSITIVE = (Limit, TopK, OrderBy, AggregateTopK)
+
+#: Parameter name carrying each partition's source rows.
+ROWS_PARAM = "__scatter_rows__"
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """Decomposition of one logical plan for scatter-gather execution.
+
+    Workers run ``[NodeByRows(source), *prefix, *pushed]`` over their
+    partition's rows; the coordinator merges the partial blocks (via
+    ``combine`` for pushed aggregates, plain concat otherwise) and re-runs
+    ``suffix`` to produce the final block.
+    """
+
+    source: LogicalOp
+    prefix: tuple[LogicalOp, ...]
+    pushed: tuple[LogicalOp, ...]
+    suffix: tuple[LogicalOp, ...]
+    combine: Aggregate | None
+
+
+def _combinable(aggs) -> bool:
+    return all(spec.fn in COMBINABLE_AGG_FNS for spec in aggs)
+
+
+def analyze_plan(plan: LogicalPlan, order_preserving: bool = True) -> ScatterPlan | None:
+    """Decompose *plan* for scatter-gather, or None when not scatterable.
+
+    ``order_preserving`` is True for range partitioning (contiguous
+    chunks); hash partitioning passes False and loses order-sensitive
+    tails.
+    """
+    if not plan.ops or not isinstance(plan.ops[0], (NodeScan, NodeByRows)):
+        return None
+    source = plan.ops[0]
+    rest = list(plan.ops[1:])
+
+    prefix: list[LogicalOp] = []
+    while rest and isinstance(rest[0], _ROW_LOCAL):
+        prefix.append(rest.pop(0))
+    tail = rest
+    if not prefix and not tail:
+        return None  # a bare scan gains nothing from scattering
+
+    if not order_preserving and any(isinstance(op, _ORDER_SENSITIVE) for op in tail):
+        return None
+
+    pushed: tuple[LogicalOp, ...] = ()
+    combine: Aggregate | None = None
+    suffix: tuple[LogicalOp, ...] = tuple(tail)
+    if tail:
+        head = tail[0]
+        if isinstance(head, Aggregate) and _combinable(head.aggs):
+            pushed = (head,)
+            combine = head
+            suffix = tuple(tail[1:])
+        elif isinstance(head, AggregateTopK) and _combinable(head.aggs):
+            # Decompose: local aggregate partials, merged exactly, then the
+            # project/top-k stage re-runs over the merged groups.
+            partial = Aggregate(group_by=head.group_by, aggs=head.aggs)
+            pushed = (partial,)
+            combine = partial
+            reorder: list[LogicalOp] = []
+            if head.project_items is not None:
+                reorder.append(Project(items=head.project_items))
+            reorder.append(TopK(keys=head.keys, n=head.n))
+            suffix = tuple(reorder) + tuple(tail[1:])
+        elif isinstance(head, TopK) and order_preserving:
+            pushed = (head,)
+        elif isinstance(head, Distinct):
+            pushed = (head,)
+        elif (
+            isinstance(head, OrderBy)
+            and len(tail) > 1
+            and isinstance(tail[1], Limit)
+            and order_preserving
+        ):
+            pushed = (head, tail[1])
+        elif isinstance(head, Limit) and order_preserving:
+            pushed = (head,)
+    return ScatterPlan(
+        source=source,
+        prefix=tuple(prefix),
+        pushed=pushed,
+        suffix=suffix,
+        combine=combine,
+    )
+
+
+def partition_plan(analysis: ScatterPlan) -> LogicalPlan:
+    """The per-partition worker plan (source rows arrive via ROWS_PARAM)."""
+    source = analysis.source
+    ops: list[LogicalOp] = [
+        NodeByRows(var=source.var, label=source.label, rows_param=ROWS_PARAM)
+    ]
+    ops.extend(analysis.prefix)
+    ops.extend(analysis.pushed)
+    return LogicalPlan(ops=ops, returns=None)
+
+
+def partition_rows(
+    rows: np.ndarray, num_partitions: int, kind: str = "range"
+) -> list[np.ndarray]:
+    """Split source rows into at most *num_partitions* non-empty parts.
+
+    ``range`` keeps contiguous scan-order chunks (deterministic and
+    order-preserving); ``hash`` assigns by ``row % P`` (balances skew,
+    loses scan-order contiguity).
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    parts_n = max(int(num_partitions), 1)
+    if kind == "range":
+        parts = np.array_split(rows, parts_n)
+    elif kind == "hash":
+        parts = [rows[rows % parts_n == i] for i in range(parts_n)]
+    else:
+        raise ValueError(f"unknown partition kind {kind!r}")
+    return [p for p in parts if len(p)]

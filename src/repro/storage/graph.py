@@ -67,6 +67,22 @@ class GraphStore:
         self._adjacency: dict[AdjacencyKey, AdjacencyList] = {}
         for definition in schema.iter_edge_definitions():
             self._register_adjacency(definition)
+        # Bumped on every structural mutation (vertex/edge insert, edge
+        # delete, bulk load).  Together with a snapshot version this keys
+        # exported shared-memory snapshots: same (epoch, version) ⇒ the
+        # bytes a worker would map are identical, so the export is reusable.
+        self._mutation_epoch = 0
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic counter of graph mutations (snapshot staleness key).
+
+        Folds in the per-table write epochs so direct, non-transactional
+        property writes are noticed too.
+        """
+        return self._mutation_epoch + sum(
+            t.write_epoch for t in self._tables.values()
+        )
 
     def _register_adjacency(self, definition: EdgeLabelDef) -> None:
         out_key = definition.key()
@@ -116,6 +132,7 @@ class GraphStore:
     def add_vertex(self, label: str, properties: Mapping[str, Any]) -> VertexRef:
         """Insert one vertex, returning its (label, row) handle."""
         row = self.table(label).insert(properties)
+        self._mutation_epoch += 1
         return VertexRef(label, row)
 
     def add_edge(
@@ -132,6 +149,7 @@ class GraphStore:
         in_key = out_key.reversed()
         self._adjacency[out_key].add_edge(src.row, dst.row, props, version)
         self._adjacency[in_key].add_edge(dst.row, src.row, props, version)
+        self._mutation_epoch += 1
 
     def remove_edge(
         self,
@@ -146,6 +164,7 @@ class GraphStore:
         removed = self._adjacency[out_key].remove_edge(src.row, dst.row, version)
         if removed:
             self._adjacency[in_key].remove_edge(dst.row, src.row, version)
+            self._mutation_epoch += 1
         return removed
 
     # -- bulk load -----------------------------------------------------------
@@ -162,6 +181,7 @@ class GraphStore:
         explicit per-column bitmasks in *validity* (the snapshot path).
         """
         self.table(label).bulk_load(columns, validity=validity)
+        self._mutation_epoch += 1
 
     def bulk_load_edges(
         self,
@@ -183,6 +203,7 @@ class GraphStore:
         self._adjacency[in_key].bulk_load(
             len(self.table(dst_label)), dst_rows, src_rows, props, props_validity
         )
+        self._mutation_epoch += 1
 
     # -- views -----------------------------------------------------------------
 

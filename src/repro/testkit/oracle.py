@@ -60,6 +60,11 @@ def _default_engines(store: GraphStore) -> dict[str, Any]:
         "GES_f*/traced": GraphEngineService(
             store, EngineConfig.ges_f_star(tracing=True)
         ),
+        # Cross-process: shared-memory worker pool, scatter forced on even
+        # for tiny fuzz graphs so both pooled paths stay under test.
+        "GES/pooled": GraphEngineService(
+            store, EngineConfig.ges(workers=2, scatter_min_rows=1)
+        ),
         "Volcano": VolcanoEngine(store),
     }
 

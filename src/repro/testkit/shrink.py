@@ -49,7 +49,15 @@ def replay(
     oracle = (
         oracle_factory(store) if oracle_factory is not None else DifferentialOracle(store)
     )
-    return oracle.check(query, view=view)
+    try:
+        return oracle.check(query, view=view)
+    finally:
+        # Pooled engines hold exported shm segments tied to this
+        # throwaway store; the other engines have no close().
+        for engine in oracle.engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
 
 
 def shrink_failure(

@@ -1,0 +1,86 @@
+"""Cross-process differential battery: the pooled engine vs everything else.
+
+``testkit.oracle._default_engines`` includes ``GES/pooled`` (two worker
+processes, scatter forced on), so every fuzz iteration here checks the
+shared-memory path — scatter-gather *and* whole-query offload — for bag
+equality against the in-process flat, factorized, fused, and Volcano
+engines, over graphs that mutate mid-campaign (overlay exports included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.service import GraphEngineService
+from repro.ldbc.validation import rows_bag
+from repro.testkit import FuzzConfig, run_fuzz
+from repro.testkit.graphgen import generate_store
+from repro.testkit.oracle import _default_engines
+
+
+def test_default_oracle_includes_pooled_engine():
+    """Every fuzz/corpus run exercises the cross-process engine."""
+    store, _ = generate_store(0)
+    engines = _default_engines(store)
+    try:
+        pooled = engines["GES/pooled"]
+        assert pooled.parallel is not None
+        assert pooled.parallel.workers == 2
+    finally:
+        for engine in engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("seed", range(5))
+def test_fuzz_campaign_with_pooled_engine(seed):
+    """Seeds 0-4: no engine — pooled included — may disagree on any query."""
+    report = run_fuzz(
+        FuzzConfig(seed=seed, iterations=15, stress_runs=0, shrink=False)
+    )
+    assert report.passed, report.summary()
+
+
+@pytest.mark.parallel
+def test_pooled_engine_actually_pools(micro_store):
+    """The oracle's agreement is vacuous if queries silently fall back
+    in-process — assert the pooled engine routed through the pool."""
+    pooled = GraphEngineService(
+        micro_store, EngineConfig.ges(workers=2, scatter_min_rows=1)
+    )
+    inproc = GraphEngineService(micro_store, EngineConfig.ges())
+    try:
+        queries = [
+            "MATCH (p:Person) RETURN p.age ORDER BY p.age LIMIT 3",
+            "MATCH (p:Person)-[:KNOWS]->(f:Person) RETURN p.id, f.id",
+            "MATCH (m:Message) RETURN count(m.id)",
+        ]
+        for text in queries:
+            base = inproc.execute(text)
+            got = pooled.execute(text)
+            assert list(got.columns) == list(base.columns)
+            assert rows_bag(got.rows) == rows_bag(base.rows)
+        routing = pooled.parallel.describe()
+        assert routing["pooled_queries"] == len(queries)
+        assert routing["fallbacks"] == 0
+        assert routing["scatter_queries"] >= 1
+    finally:
+        pooled.close()
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_stress_pooled_reader_pin_holds_across_process_boundary(seed):
+    """A pinned snapshot exported *after* later in-place commits must read
+    back the pinned version from a worker process — COW patch-back plus
+    MVCC stamp filtering survive the shared-memory export."""
+    from repro.testkit.stress import StressConfig, run_stress
+
+    report = run_stress(
+        StressConfig(seed=seed, pooled_readers=2, pins_per_reader=3)
+    )
+    assert report.passed, report.summary()
+    assert report.pooled_reads == 2 * 3  # every pin was checked cross-process
