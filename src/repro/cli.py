@@ -12,6 +12,7 @@ Subcommands::
     python -m repro.cli perf compare
     python -m repro.cli perf report
     python -m repro.cli flightrec --scale SF1 --ops 50 --format json
+    python -m repro.cli top --scale SF1 --workers 2 --once
 
 ``query``, ``bench``, and ``profile`` accept either ``--scale`` (generate
 a mini-SNB graph in memory) or ``--graph DIR`` (load a snapshot written by
@@ -256,8 +257,13 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     for variant in variants:
         # Fresh store per variant: the stream's IU inserts mutate it.
         dataset = generate(args.scale, seed=args.seed)
-        engine = _make_engine(dataset.store, variant)
-        BenchmarkDriver(engine, dataset, seed=args.seed).run(args.ops)
+        engine = _make_engine(dataset.store, variant, workers=args.workers)
+        try:
+            BenchmarkDriver(engine, dataset, seed=args.seed).run(args.ops)
+        finally:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
     registry = get_registry()
     if args.format in ("prom", "both"):
         print(prometheus_text(registry), end="")
@@ -459,6 +465,35 @@ def cmd_flightrec(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live process dashboard: pool health, latency percentiles, events.
+
+    Runs an LDBC workload on a (optionally pooled) engine and renders the
+    ``repro.obs.top`` dashboard over the process metrics registry and the
+    structured event log.  ``--once`` runs the workload to completion and
+    prints a single frame (the CI smoke mode); without it the frame is
+    redrawn every ``--interval`` seconds while the workload runs.
+    """
+    from .obs.top import render_top_frame, run_top
+
+    dataset = generate(args.scale, seed=args.seed)
+    engine = _make_engine(dataset.store, args.variant, workers=args.workers)
+    driver = BenchmarkDriver(engine, dataset, seed=args.seed)
+    try:
+        if args.once:
+            driver.run(args.ops)
+            print(render_top_frame(event_limit=args.events))
+        else:
+            run_top(
+                lambda: driver.run(args.ops), interval_s=args.interval
+            )
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Audit read-query agreement across all engine variants."""
     dataset = generate(args.scale, seed=args.seed)
@@ -544,6 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=7)
     metrics.add_argument(
         "--variant", default="GES_f*", help="engine variant, or 'all' for all three"
+    )
+    metrics.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (pool-health gauges light up when > 1)",
     )
     metrics.add_argument("--format", choices=("prom", "json", "both"), default="prom")
     metrics.set_defaults(fn=cmd_metrics)
@@ -643,6 +684,32 @@ def build_parser() -> argparse.ArgumentParser:
     flightrec.add_argument("--format", choices=("text", "json"), default="text")
     flightrec.add_argument("--out", help="write the dump to a file instead of stdout")
     flightrec.set_defaults(fn=cmd_flightrec)
+
+    top = sub.add_parser(
+        "top", help="live dashboard: pool health, latency percentiles, events"
+    )
+    top.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))
+    top.add_argument("--ops", type=int, default=50)
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--variant", default="GES_f*")
+    top.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (pool-health section lights up when > 1)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="run the workload, print one frame, exit (CI smoke mode)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, help="live redraw period (seconds)"
+    )
+    top.add_argument(
+        "--events", type=int, default=8, help="events shown in the final frame"
+    )
+    top.set_defaults(fn=cmd_top)
 
     check = sub.add_parser("validate", help="audit engine agreement on reads")
     check.add_argument("--scale", default="SF1", choices=sorted(SCALE_FACTORS))

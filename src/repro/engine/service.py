@@ -27,6 +27,7 @@ from typing import Callable, TypeVar
 from ..errors import AdmissionRejected, GesError, QueryTimeout
 from ..exec.base import ExecStats, QueryResult
 from ..obs.clock import now
+from ..obs.events import EVENTS
 from ..obs.flightrec import FlightRecorder
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import Span
@@ -137,6 +138,7 @@ class GraphEngineService:
             self._m_degraded = None
             self._m_pooled = None
             self._m_pool_fallbacks = None
+            self._m_inflight = None
             return
         variant = self.config.name
         self._m_queries = REGISTRY.counter(
@@ -182,6 +184,11 @@ class GraphEngineService:
         self._m_degraded = REGISTRY.counter(
             "ges_degraded_queries",
             "Queries answered a rung down the degradation ladder.",
+            variant=variant,
+        )
+        self._m_inflight = REGISTRY.gauge(
+            "ges_queries_inflight",
+            "Queries currently executing, by engine variant.",
             variant=variant,
         )
         if self.config.workers > 1:
@@ -341,7 +348,7 @@ class GraphEngineService:
             and self.retry_policy is None
             and self.admission is None
         ):
-            return self._execute_guarded(query, params, view, stats)
+            return self._execute_tracked(query, params, view, stats)
         deadline = (
             Deadline.after(timeout_s) if timeout_s is not None else None
         )
@@ -354,9 +361,9 @@ class GraphEngineService:
                 admission._acquire(estimate)
             try:
                 if self.retry_policy is None:
-                    return self._execute_guarded(query, params, view, stats)
+                    return self._execute_tracked(query, params, view, stats)
                 return self.retry_policy.run(
-                    lambda: self._execute_guarded(query, params, view, stats),
+                    lambda: self._execute_tracked(query, params, view, stats),
                     deadline=effective,
                     on_retry=self._count_retry,
                 )
@@ -373,6 +380,23 @@ class GraphEngineService:
             raise
         finally:
             pop_deadline(prev)
+
+    def _execute_tracked(
+        self,
+        query: str | LogicalPlan,
+        params: Mapping[str, Any] | None,
+        view: GraphReadView | None,
+        stats: ExecStats,
+    ) -> QueryResult:
+        """One attempt with the in-flight gauge held around it."""
+        gauge = self._m_inflight
+        if gauge is None:
+            return self._execute_guarded(query, params, view, stats)
+        gauge.add(1)
+        try:
+            return self._execute_guarded(query, params, view, stats)
+        finally:
+            gauge.add(-1)
 
     def _execute_guarded(
         self,
@@ -400,6 +424,7 @@ class GraphEngineService:
             else None
         )
         if result is None:  # in-process path (workers == 1, or pool fallback)
+            stats.route = "in-process"
             if self._fallback_execute is None:
                 result = self._execute(physical, view, params, stats)
             else:
@@ -451,6 +476,7 @@ class GraphEngineService:
             stats.note_degrade(reason)
         if self._m_degraded is not None:
             self._m_degraded.inc()
+        EVENTS.emit("degraded", reason=reason, variant=self.config.name)
 
     def _count_retry(self, _attempt: int, _exc: BaseException) -> None:
         if self._m_retries is not None:

@@ -65,6 +65,18 @@ class ExecStats:
         self.plan_cache_misses = 0
         self.flat_tuples = 0
         self.ftree_slots = 0
+        #: How the service routed this query: ``scatter`` / ``whole``
+        #: (worker pool), ``in-process`` (pool declined or absent), or ""
+        #: before routing has been decided.  Recorded per query so the
+        #: flight recorder can explain *why* a pooled query fell back.
+        self.route = ""
+        #: Per-partition worker timings of a scattered query:
+        #: ``(partition_index, worker_seconds, rows)`` tuples.
+        self.partition_times: list[tuple[int, float, int]] = []
+        #: Every degradation reason noted for this query, in order —
+        #: the always-on companion to ``degrade_count`` so the flight
+        #: recorder can explain fallbacks without tracing enabled.
+        self.degrade_reasons: list[str] = []
         self.trace: SpanTracer | None = None
 
     def begin_trace(self, name: str = "query") -> SpanTracer:
@@ -97,6 +109,7 @@ class ExecStats:
     def note_degrade(self, reason: str) -> None:
         """Account one step down the degradation ladder (and tag the span)."""
         self.degrade_count += 1
+        self.degrade_reasons.append(reason)
         if self.trace is not None:
             attrs = self.trace.current.attrs
             attrs["degraded"] = attrs.get("degraded", 0) + 1
@@ -164,6 +177,10 @@ class ExecStats:
         self.plan_cache_misses += other.plan_cache_misses
         self.flat_tuples += other.flat_tuples
         self.ftree_slots += other.ftree_slots
+        if other.route:  # the stage that actually routed wins
+            self.route = other.route
+        self.partition_times.extend(other.partition_times)
+        self.degrade_reasons.extend(other.degrade_reasons)
         if other.trace is not None:
             if self.trace is None:
                 self.trace = other.trace

@@ -16,6 +16,14 @@ every timing call site in the engine reads.
 """
 
 from .clock import now, wall_time
+from .events import (
+    EVENTS,
+    Event,
+    EventLog,
+    emit,
+    get_event_log,
+    render_events,
+)
 from .export import (
     metrics_json,
     prometheus_text,
@@ -31,6 +39,7 @@ from .metrics import (
     MetricsRegistry,
     get_registry,
 )
+from .top import render_top_frame, run_top
 from .tracing import Span, SpanTracer
 
 __all__ = [
@@ -51,4 +60,12 @@ __all__ = [
     "FlightRecord",
     "FlightRecorder",
     "render_flight_dump",
+    "Event",
+    "EventLog",
+    "EVENTS",
+    "emit",
+    "get_event_log",
+    "render_events",
+    "render_top_frame",
+    "run_top",
 ]

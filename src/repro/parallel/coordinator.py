@@ -42,6 +42,7 @@ from .partition import analyze_plan
 from .pool import (
     SnapshotTask,
     WorkerPool,
+    merge_obs_payload,
     merge_stats_payload,
     raise_worker_reply,
     shared_pool,
@@ -65,6 +66,7 @@ class ParallelCoordinator:
         self.kind = config.partition_kind
         self.scatter_min_rows = int(config.scatter_min_rows)
         self.default_timeout_s = config.pool_task_timeout_ms / 1e3
+        self.ship_obs = bool(config.metrics)
         self.exporter = SnapshotExporter(engine.store)
         # Routing counters (introspection + tests).
         self.pooled_queries = 0
@@ -109,6 +111,12 @@ class ParallelCoordinator:
             self._fall_back(stats, f"export:{type(exc).__name__}")
             return None
         started = now()
+        # The dispatch span opens *before* the workers run so that the
+        # grafted worker subtrees (and any in-process suffix operators)
+        # nest under it; _count / the error paths close it with the route
+        # taken, so explain_analyze always shows a well-formed tree.
+        if stats.trace is not None:
+            stats.trace.begin("pooled")
         try:
             analysis = analyze_plan(
                 physical, order_preserving=self.kind == "range"
@@ -126,18 +134,21 @@ class ParallelCoordinator:
                     kind=self.kind,
                     timeout_s=timeout_s,
                     min_rows=self.scatter_min_rows,
+                    obs=self.ship_obs,
                 )
                 if result is not None:
                     stats.total_seconds += now() - started
-                    self._count(stats, started, "scatter")
+                    self._count(stats, "scatter", partitions=self.partitions)
                     self.scatter_queries += 1
                     return result
             return self._run_whole(
                 query, snapshot, params, stats, timeout_s, started
             )
         except QueryTimeout:
+            self._end_span(stats, outcome="timeout")
             raise
         except _FALLBACK_ERRORS as exc:
+            self._end_span(stats, outcome="fallback")
             self._fall_back(stats, type(exc).__name__)
             return None
         finally:
@@ -164,10 +175,15 @@ class ParallelCoordinator:
             "version": snapshot.manifest["version"],
             "timeout_s": timeout_s,
         }
+        if self.ship_obs:
+            payload["obs"] = True
+        if stats.trace is not None:
+            payload["trace"] = True
         if isinstance(query, str):
             payload["cypher"] = query
         else:
             payload["plan"] = serialize_plan(query)  # PlanError -> fallback
+        dispatched = now()
         reply = self.pool.run(
             SnapshotTask(
                 payload,
@@ -179,24 +195,30 @@ class ParallelCoordinator:
         if not reply.get("ok"):
             raise_worker_reply(reply)
         merge_stats_payload(stats, reply.get("stats"))
+        extra = {"mode": "whole"}
+        if reply.get("plan_cache"):
+            extra["plan_cache"] = reply["plan_cache"]
+        merge_obs_payload(stats, reply.get("obs"), dispatched, **extra)
         rows = [tuple(row) for row in reply["rows"]]
         stats.rows_out = len(rows)
         stats.total_seconds += now() - started
-        self._count(stats, started, "whole")
+        self._count(stats, "whole")
         self.whole_queries += 1
         return QueryResult(list(reply["columns"]), rows, stats)
 
     # -- bookkeeping ----------------------------------------------------------
 
-    def _count(self, stats: ExecStats, started: float, mode: str) -> None:
+    def _count(self, stats: ExecStats, mode: str, **attrs: Any) -> None:
         self.pooled_queries += 1
         counter = getattr(self.engine, "_m_pooled", None)
         if counter is not None:
             counter.inc()
+        stats.route = mode
+        self._end_span(stats, mode=mode, workers=self.workers, **attrs)
+
+    def _end_span(self, stats: ExecStats, **attrs: Any) -> None:
         if stats.trace is not None:
-            stats.trace.add(
-                "pooled", started, now(), mode=mode, workers=self.workers
-            )
+            stats.trace.end(**attrs)
 
     def _fall_back(self, stats: ExecStats, reason: str) -> None:
         self.fallbacks += 1

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import os
 import queue
 import threading
 from collections import OrderedDict, deque
@@ -43,6 +44,14 @@ from .. import errors as errors_mod
 from ..errors import GesError, QueryTimeout, WorkerCrash, WorkerError
 from ..exec.base import ExecStats
 from ..obs.clock import now
+from ..obs.events import EVENTS
+from ..obs.metrics import (
+    REGISTRY,
+    apply_counter_deltas,
+    counter_snapshot,
+    drain_counter_deltas,
+)
+from ..obs.tracing import span_from_wire, span_to_wire
 from ..core.flatblock import FlatBlock
 from ..types import DataType
 
@@ -110,6 +119,48 @@ def merge_stats_payload(stats: ExecStats, payload: dict | None) -> None:
     stats.ftree_slots += payload["ftree_slots"]
 
 
+def merge_obs_payload(
+    stats: ExecStats,
+    obs: dict | None,
+    anchor: float,
+    partition: int | None = None,
+    **attrs: Any,
+) -> None:
+    """Fold one worker reply's observability payload into the coordinator.
+
+    * Shipped spans are re-anchored at *anchor* (the coordinator's dispatch
+      time) and grafted under the currently open span, stamped with the
+      worker pid, snapshot attach outcome, and (for scatter) the partition
+      index — this is what turns the old "pooled" stub into a real
+      cross-process tree.
+    * Counter deltas fold into the global registry exactly once per reply.
+    * Worker events are absorbed into the coordinator's event log, tagged
+      with the worker pid so the merged stream stays attributable.
+    * Per-partition worker timings land in ``stats.partition_times``.
+    """
+    if not obs:
+        return
+    pid = obs.get("pid")
+    if partition is not None:
+        stats.partition_times.append(
+            (partition, float(obs.get("task_seconds", 0.0)), int(obs.get("rows", 0)))
+        )
+    wire = obs.get("spans")
+    if wire is not None and stats.trace is not None:
+        span = span_from_wire(wire, anchor)
+        span.attrs["worker_pid"] = pid
+        if obs.get("snapshot"):
+            span.attrs["snapshot"] = obs["snapshot"]
+        if partition is not None:
+            span.attrs["partition"] = partition
+        span.attrs.update(attrs)
+        stats.trace.current.children.append(span)
+    apply_counter_deltas(obs.get("metrics"))
+    events = obs.get("events")
+    if events:
+        EVENTS.absorb(events, worker_pid=pid)
+
+
 def raise_worker_reply(reply: dict) -> None:
     """Re-raise a worker error reply as its original typed exception."""
     etype = reply.get("etype", "WorkerError")
@@ -130,39 +181,59 @@ def _worker_main(conn: Any) -> None:
     from ..resilience import faults
 
     faults.ACTIVE = None
+    # The forked event log carries the parent's history; this worker's
+    # story starts now.  Drained events ship back with each task reply.
+    EVENTS.clear()
 
     snapshots: OrderedDict[str, tuple[Any, Any]] = OrderedDict()  # id -> (store, segment)
     plans: OrderedDict[tuple, Any] = OrderedDict()
     registry = None
+    # Counter-shipping baseline for this worker's lifetime: each task
+    # drains increments against it in a single registry walk.
+    metrics_baseline = counter_snapshot()
+    task_counters: dict[str, Any] = {}  # mode -> bound counter instrument
 
-    def get_store(task: dict) -> Any:
+    def get_store(task: dict) -> tuple[Any, str]:
+        """(store, "cached"|"attached") for the task's snapshot."""
         from .shm import attach_snapshot, detach_snapshot
 
         snapshot_id = task["snapshot_id"]
         cached = snapshots.get(snapshot_id)
         if cached is not None:
             snapshots.move_to_end(snapshot_id)
-            return cached[0]
+            return cached[0], "cached"
         manifest = task.get("manifest")
         if manifest is None:
-            return None  # coordinator must resend with the manifest
+            return None, ""  # coordinator must resend with the manifest
         store, segment = attach_snapshot(manifest)
+        EVENTS.emit(
+            "snapshot_attach", snapshot=snapshot_id, pid=os.getpid()
+        )
         snapshots[snapshot_id] = (store, segment)
         while len(snapshots) > _WORKER_SNAPSHOT_CACHE:
-            _, (old_store, old_segment) = snapshots.popitem(last=False)
+            old_id, (old_store, old_segment) = snapshots.popitem(last=False)
             detach_snapshot(old_store, old_segment)
-        return store
+            EVENTS.emit("snapshot_detach", snapshot=old_id, pid=os.getpid())
+        return store, "attached"
 
     def run_task(task: dict) -> dict:
         nonlocal registry
         from ..resilience.watchdog import Deadline, pop_deadline, push_deadline
         from ..testkit.plans import deserialize_plan
 
-        store = get_store(task)
+        store, attach_kind = get_store(task)
         if store is None:
             return {"ok": False, "need_manifest": True}
         view = store.read_view(task.get("version"))
         stats = ExecStats()
+        # Observability capture is opt-in per task: the coordinator sets
+        # "obs" when its engine records metrics and "trace" when the query
+        # is traced, so the disabled path pays nothing beyond these gets.
+        ship_obs = bool(task.get("obs"))
+        traced = bool(task.get("trace"))
+        task_started = now()
+        if traced:
+            stats.begin_trace("worker")
         timeout_s = task.get("timeout_s")
         prev, _ = push_deadline(
             Deadline.after(timeout_s, label="pooled task")
@@ -174,6 +245,16 @@ def _worker_main(conn: Any) -> None:
                 from ..engine.registry import default_registry
 
                 registry = default_registry()
+            if ship_obs:
+                counter = task_counters.get(task["mode"])
+                if counter is None:
+                    counter = REGISTRY.counter(
+                        "ges_worker_tasks_total",
+                        "Tasks executed inside worker processes, by mode.",
+                        mode=task["mode"],
+                    )
+                    task_counters[task["mode"]] = counter
+                counter.inc()
             if task["mode"] == "partial":
                 from ..exec.flat import execute_flat_block
 
@@ -181,39 +262,63 @@ def _worker_main(conn: Any) -> None:
                 block, ctx = execute_flat_block(
                     plan, view, params=task.get("params"), stats=stats
                 )
-                return {
+                reply = {
                     "ok": True,
                     "block": block_to_payload(block),
                     "stats": stats_to_payload(ctx.stats),
                 }
-            # whole-query mode
-            optimizer = registry.resolve(
-                "execution", "optimizer", task.get("optimizer", "none")
-            )
-            executor = registry.resolve(
-                "execution", "executor", task.get("executor", "flat")
-            )
-            cypher = task.get("cypher")
-            if cypher is not None:
-                key = (cypher, task.get("optimizer", "none"))
-                physical = plans.get(key)
-                if physical is None:
-                    parse = registry.resolve("frontend", "parser", "cypher")
-                    physical = optimizer(parse(cypher, store.schema))
-                    plans[key] = physical
-                    while len(plans) > _WORKER_PLAN_CACHE:
-                        plans.popitem(last=False)
-                else:
-                    plans.move_to_end(key)
+                rows_out = len(block)
             else:
-                physical = optimizer(deserialize_plan(task["plan"]))
-            result = executor(physical, view, task.get("params"), stats)
-            return {
-                "ok": True,
-                "columns": list(result.columns),
-                "rows": [tuple(row) for row in result.rows],
-                "stats": stats_to_payload(result.stats),
-            }
+                # whole-query mode
+                optimizer = registry.resolve(
+                    "execution", "optimizer", task.get("optimizer", "none")
+                )
+                executor = registry.resolve(
+                    "execution", "executor", task.get("executor", "flat")
+                )
+                cypher = task.get("cypher")
+                plan_cache_outcome = None
+                if cypher is not None:
+                    key = (cypher, task.get("optimizer", "none"))
+                    physical = plans.get(key)
+                    if physical is None:
+                        plan_cache_outcome = "miss"
+                        parse = registry.resolve("frontend", "parser", "cypher")
+                        physical = optimizer(parse(cypher, store.schema))
+                        plans[key] = physical
+                        while len(plans) > _WORKER_PLAN_CACHE:
+                            plans.popitem(last=False)
+                    else:
+                        plan_cache_outcome = "hit"
+                        plans.move_to_end(key)
+                else:
+                    physical = optimizer(deserialize_plan(task["plan"]))
+                result = executor(physical, view, task.get("params"), stats)
+                reply = {
+                    "ok": True,
+                    "columns": list(result.columns),
+                    "rows": [tuple(row) for row in result.rows],
+                    "stats": stats_to_payload(result.stats),
+                }
+                rows_out = len(result.rows)
+                if plan_cache_outcome is not None and ship_obs:
+                    reply["plan_cache"] = plan_cache_outcome
+            if ship_obs or traced:
+                obs: dict[str, Any] = {
+                    "pid": os.getpid(),
+                    "task_seconds": now() - task_started,
+                    "rows": rows_out,
+                    "snapshot": attach_kind,
+                }
+                if traced and stats.trace is not None:
+                    obs["spans"] = span_to_wire(
+                        stats.trace.finish(), base=task_started
+                    )
+                if ship_obs:
+                    obs["metrics"] = drain_counter_deltas(metrics_baseline)
+                    obs["events"] = EVENTS.drain()
+                reply["obs"] = obs
+            return reply
         finally:
             pop_deadline(prev)
 
@@ -278,13 +383,43 @@ class SnapshotTask:
 
 
 class _Worker:
-    __slots__ = ("proc", "conn", "wid", "known_snapshots")
+    __slots__ = ("proc", "conn", "wid", "known_snapshots", "tasks")
 
     def __init__(self, proc: Any, conn: Any, wid: int) -> None:
         self.proc = proc
         self.conn = conn
         self.wid = wid
         self.known_snapshots: set[str] = set()
+        self.tasks = 0  # tasks dispatched to this worker incarnation
+
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def _rss_bytes(pid: int | None) -> int:
+    """Resident set size of *pid* via /proc (0 where /proc is absent)."""
+    if pid is None:
+        return 0
+    try:
+        with open(f"/proc/{pid}/statm") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+#: The pool whose per-worker gauges are live, keyed by worker count.  The
+#: metrics registry keeps one callback gauge per (name, labels) forever,
+#: so callbacks route through this indirection — when a pool is replaced
+#: (shared-pool recreation after shutdown), the gauges follow the newest
+#: pool instead of holding a dead one alive.
+_METRIC_POOLS: dict[int, "WorkerPool"] = {}
+
+
+def _pool_worker(workers: int, wid: int) -> "_Worker | None":
+    pool = _METRIC_POOLS.get(workers)
+    if pool is None or pool.closed or wid >= len(pool._all):
+        return None
+    return pool._all[wid]
 
 
 class WorkerPool:
@@ -310,6 +445,48 @@ class WorkerPool:
         self._closed = False
         self.respawns = 0
         self.tasks_total = 0
+        self.crashes = 0
+        self.timeouts = 0
+        # Pool-health telemetry: counters bound once, per-worker RSS and
+        # task-count callback gauges routed through _METRIC_POOLS so they
+        # track the live pool incarnation for this worker count.
+        pool_label = str(workers)
+        self._m_tasks = REGISTRY.counter(
+            "ges_pool_tasks_total", "Tasks dispatched to pool workers.",
+            pool=pool_label,
+        )
+        self._m_respawns = REGISTRY.counter(
+            "ges_pool_respawns_total", "Workers killed and respawned.",
+            pool=pool_label,
+        )
+        self._m_crashes = REGISTRY.counter(
+            "ges_pool_crashes_total", "Workers that died mid-task.",
+            pool=pool_label,
+        )
+        self._m_timeouts = REGISTRY.counter(
+            "ges_pool_timeouts_total", "Pooled tasks that hit the pipe deadline.",
+            pool=pool_label,
+        )
+        _METRIC_POOLS[workers] = self
+        for wid in range(workers):
+            REGISTRY.gauge(
+                "ges_worker_rss_bytes",
+                "Resident set size of one pool worker.",
+                fn=lambda n=workers, w=wid: float(
+                    _rss_bytes(getattr(getattr(_pool_worker(n, w), "proc", None), "pid", None))
+                ),
+                pool=pool_label,
+                wid=str(wid),
+            )
+            REGISTRY.gauge(
+                "ges_worker_tasks",
+                "Tasks dispatched to one pool worker's current incarnation.",
+                fn=lambda n=workers, w=wid: float(
+                    getattr(_pool_worker(n, w), "tasks", 0)
+                ),
+                pool=pool_label,
+                wid=str(wid),
+            )
         for wid in range(workers):
             worker = self._spawn(wid)
             self._all.append(worker)
@@ -335,10 +512,12 @@ class WorkerPool:
         )
         proc.start()
         child_conn.close()
+        EVENTS.emit("worker_spawn", wid=wid, pid=proc.pid)
         return _Worker(proc, parent_conn, wid)
 
     def _recycle(self, worker: _Worker) -> None:
         """Kill a misbehaving worker and put a fresh one in its place."""
+        old_pid = worker.proc.pid
         try:
             worker.proc.kill()
             worker.proc.join(timeout=5.0)
@@ -357,7 +536,26 @@ class WorkerPool:
                     self._all[i] = fresh
                     break
             self.respawns += 1
+            self._m_respawns.inc()
+        EVENTS.emit(
+            "worker_respawn", wid=worker.wid, old_pid=old_pid, new_pid=fresh.proc.pid
+        )
         self._idle.put(fresh)
+
+    def _note_crash(self, worker: _Worker) -> None:
+        """Account one worker death mid-task (counter + event)."""
+        self.crashes += 1
+        self._m_crashes.inc()
+        EVENTS.emit("worker_crash", wid=worker.wid, pid=worker.proc.pid)
+
+    def _timeout(self, budget: float) -> QueryTimeout:
+        """Account one pipe-deadline expiry and build the exception."""
+        self.timeouts += 1
+        self._m_timeouts.inc()
+        EVENTS.emit("pool_task_timeout", budget_s=round(budget, 3))
+        return QueryTimeout(
+            f"pooled task exceeded its deadline (budget {budget:.3f}s)"
+        )
 
     def shutdown(self) -> None:
         with self._lock:
@@ -366,6 +564,8 @@ class WorkerPool:
             self._closed = True
             workers = list(self._all)
             self._all.clear()
+        if _METRIC_POOLS.get(self.num_workers) is self:
+            _METRIC_POOLS.pop(self.num_workers, None)
         for worker in workers:
             try:
                 worker.conn.send({"op": "stop"})
@@ -408,6 +608,8 @@ class WorkerPool:
                 worker.known_snapshots.add(task.snapshot_id)
         worker.conn.send(body)
         self.tasks_total += 1
+        worker.tasks += 1
+        self._m_tasks.inc()
 
     def run(self, task: SnapshotTask, timeout_s: float | None = None) -> dict:
         """Run one task; returns the reply dict (``ok`` or typed error)."""
@@ -452,12 +654,7 @@ class WorkerPool:
             while True:
                 remaining = deadline_t - now()
                 if remaining <= 0:
-                    fail_active(
-                        QueryTimeout(
-                            f"pooled task exceeded its deadline "
-                            f"(budget {budget:.3f}s)"
-                        )
-                    )
+                    fail_active(self._timeout(budget))
                 worker = self._checkout(remaining)
                 try:
                     self._dispatch(worker, task, force_manifest=force_manifest)
@@ -478,23 +675,16 @@ class WorkerPool:
         while active:
             remaining = deadline_t - now()
             if remaining <= 0:
-                fail_active(
-                    QueryTimeout(
-                        f"pooled task exceeded its deadline (budget {budget:.3f}s)"
-                    )
-                )
+                fail_active(self._timeout(budget))
             ready = mp_connection.wait(list(active), timeout=remaining)
             if not ready:
-                fail_active(
-                    QueryTimeout(
-                        f"pooled task exceeded its deadline (budget {budget:.3f}s)"
-                    )
-                )
+                fail_active(self._timeout(budget))
             for conn in ready:
                 worker, idx = active.pop(conn)
                 try:
                     reply = conn.recv()
                 except (EOFError, OSError):
+                    self._note_crash(worker)
                     self._recycle(worker)
                     fail_active(
                         WorkerCrash(

@@ -17,6 +17,7 @@ import numpy as np
 from ..core.flatblock import FlatBlock
 from ..exec.base import ExecStats, ExecutionContext, OpTimer, QueryResult, result_from_flat
 from ..exec.flat import dispatch_flat
+from ..obs.clock import now
 from ..plan.logical import Aggregate, LogicalPlan, NodeScan, resolve_labels
 from ..storage.graph import GraphReadView
 from ..storage.validity import pack_values
@@ -26,6 +27,7 @@ from .pool import (
     SnapshotTask,
     WorkerPool,
     block_from_payload,
+    merge_obs_payload,
     merge_stats_payload,
     raise_worker_reply,
 )
@@ -89,6 +91,7 @@ def scatter_execute(
     kind: str = "range",
     timeout_s: float | None = None,
     min_rows: int = 0,
+    obs: bool = False,
 ) -> QueryResult | None:
     """Run *physical* via partitioned scatter-gather.
 
@@ -108,31 +111,41 @@ def scatter_execute(
     parts = partition_rows(rows, num_partitions, kind)
     plan_payload = serialize_plan(partition_plan(analysis))  # PlanError -> caller
     base_params = dict(params or {})
+    traced = stats.trace is not None
     tasks = []
     for part in parts:
         task_params = dict(base_params)
         task_params[ROWS_PARAM] = part
+        body: dict[str, Any] = {
+            "op": "exec",
+            "mode": "partial",
+            "plan": plan_payload,
+            "params": task_params,
+            "snapshot_id": snapshot.snapshot_id,
+            "version": snapshot.manifest["version"],
+            "timeout_s": timeout_s,
+        }
+        if obs:
+            body["obs"] = True
+        if traced:
+            body["trace"] = True
         tasks.append(
             SnapshotTask(
-                {
-                    "op": "exec",
-                    "mode": "partial",
-                    "plan": plan_payload,
-                    "params": task_params,
-                    "snapshot_id": snapshot.snapshot_id,
-                    "version": snapshot.manifest["version"],
-                    "timeout_s": timeout_s,
-                },
+                body,
                 snapshot_id=snapshot.snapshot_id,
                 manifest=snapshot.manifest,
             )
         )
+    dispatched = now()
     replies = pool.run_many(tasks, timeout_s=timeout_s)
     blocks: list[FlatBlock] = []
-    for reply in replies:  # partition-index order by construction
+    for index, reply in enumerate(replies):  # partition-index order by construction
         if not reply.get("ok"):
             raise_worker_reply(reply)
         merge_stats_payload(stats, reply.get("stats"))
+        merge_obs_payload(
+            stats, reply.get("obs"), dispatched, partition=index, mode="partial"
+        )
         blocks.append(block_from_payload(reply["block"]))
 
     if analysis.combine is not None:

@@ -32,6 +32,7 @@ import atexit
 import os
 import threading
 import uuid
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
 from typing import Any
@@ -39,6 +40,8 @@ from typing import Any
 import numpy as np
 
 from ..errors import StorageError
+from ..obs.events import EVENTS
+from ..obs.metrics import REGISTRY
 from ..storage.adjacency import AdjacencyList
 from ..storage.catalog import AdjacencyKey, Direction
 from ..storage.graph import GraphReadView, GraphStore
@@ -533,6 +536,53 @@ def detach_snapshot(
 # ---------------------------------------------------------------------------
 # Coordinator-side lifecycle
 
+#: Live exporters, for the aggregate refcount gauge (weak: an exporter's
+#: lifetime is its engine's, and a gauge must never extend it).
+_EXPORTERS: "weakref.WeakSet[SnapshotExporter]" = weakref.WeakSet()
+
+
+def _live_segment_bytes() -> float:
+    with _LIVE_LOCK:
+        return float(sum(seg.size for seg in _LIVE_SEGMENTS.values()))
+
+
+def _live_segment_count() -> float:
+    with _LIVE_LOCK:
+        return float(len(_LIVE_SEGMENTS))
+
+
+def _total_exporter_refs() -> float:
+    total = 0
+    for exporter in list(_EXPORTERS):
+        current = exporter._current
+        if current is not None:
+            total += max(current.inflight, 0)
+    return float(total)
+
+
+def _register_shm_gauges() -> None:
+    """(Re-)register the pool-health shm gauges.
+
+    Called from every :class:`SnapshotExporter` init rather than at import
+    time so a test-side ``REGISTRY.reset()`` cannot permanently drop them:
+    the next pooled engine brings them back.
+    """
+    REGISTRY.gauge(
+        "ges_shm_segment_bytes",
+        "Total bytes of live exported snapshot segments.",
+        fn=_live_segment_bytes,
+    )
+    REGISTRY.gauge(
+        "ges_shm_segments",
+        "Live exported snapshot segments created by this process.",
+        fn=_live_segment_count,
+    )
+    REGISTRY.gauge(
+        "ges_shm_exporter_refs",
+        "In-flight query references across all live snapshot exporters.",
+        fn=_total_exporter_refs,
+    )
+
 
 class ExportedSnapshot:
     """One live export: manifest + segment + coordinator-side refcount."""
@@ -571,6 +621,14 @@ class SnapshotExporter:
         self._current: ExportedSnapshot | None = None
         self.exports_total = 0
         self.reuses_total = 0
+        self._m_exports = REGISTRY.counter(
+            "ges_shm_exports_total", "Snapshot segments exported."
+        )
+        self._m_retires = REGISTRY.counter(
+            "ges_shm_retires_total", "Snapshot segments retired."
+        )
+        _register_shm_gauges()
+        _EXPORTERS.add(self)
 
     def _staleness_key(self, view: GraphReadView) -> tuple[int, int]:
         version = -1 if view.version is None else view.version
@@ -593,6 +651,13 @@ class SnapshotExporter:
             snapshot.inflight = 1
             self._current = snapshot
             self.exports_total += 1
+            self._m_exports.inc()
+            EVENTS.emit(
+                "snapshot_export",
+                snapshot=snapshot.snapshot_id,
+                bytes=segment.size,
+                version=manifest["version"],
+            )
             return snapshot
 
     def release(self, snapshot: ExportedSnapshot) -> None:
@@ -605,6 +670,8 @@ class SnapshotExporter:
         if snapshot.retired:
             return
         snapshot.retired = True
+        self._m_retires.inc()
+        EVENTS.emit("snapshot_retire", snapshot=snapshot.snapshot_id)
         if snapshot is self._current:
             self._current = None
         if snapshot.inflight <= 0:

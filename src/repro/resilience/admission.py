@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from ..errors import AdmissionRejected
 from ..obs.clock import now
+from ..obs.events import EVENTS
 
 
 class AdmissionController:
@@ -94,12 +95,23 @@ class AdmissionController:
                 )
                 if memory_bound and self.memory_budget_bytes:
                     self.rejected["memory"] += 1
+                    EVENTS.emit(
+                        "admission_reject",
+                        reason="memory",
+                        estimate_bytes=estimate_bytes,
+                    )
                     raise AdmissionRejected(
                         f"estimated {estimate_bytes} B exceeds the remaining "
                         f"memory budget ({self.memory_budget_bytes} B total)"
                     )
                 if self.queue_limit <= 0 or self._waiting >= self.queue_limit:
                     self.rejected["queue_full"] += 1
+                    EVENTS.emit(
+                        "admission_reject",
+                        reason="queue_full",
+                        inflight=self._inflight,
+                        waiting=self._waiting,
+                    )
                     raise AdmissionRejected(
                         f"service saturated: {self._inflight} in flight, "
                         f"{self._waiting}/{self.queue_limit} queued"
@@ -112,6 +124,9 @@ class AdmissionController:
                         remaining = expires - now()
                         if remaining <= 0:
                             self.rejected["queue_timeout"] += 1
+                            EVENTS.emit(
+                                "admission_reject", reason="queue_timeout"
+                            )
                             raise AdmissionRejected(
                                 f"queued {self.queue_timeout_ms:.0f} ms without "
                                 f"an admission slot"

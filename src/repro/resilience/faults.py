@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from ..errors import TransientError
+from ..obs.events import EVENTS
 
 #: Catalog of instrumented sites (kept in sync with the table above).
 SITES = (
@@ -125,6 +126,8 @@ class FaultPlan:
             if not fires:
                 return
             self._fired[site] += 1
+            ordinal = self._fired[site]
+        EVENTS.emit("fault_fired", site=site, ordinal=ordinal)
         raise TransientError(f"injected fault at {site}")
 
     def total_fired(self) -> int:

@@ -129,6 +129,15 @@ class DifferentialOracle:
             raise ValueError(f"baseline engine {baseline!r} not in engine map")
         self.baseline = baseline
 
+    def close(self) -> None:
+        """Release engine resources — pooled engines hold exported shm
+        segments tied to this oracle's (usually throwaway) store.  Engines
+        without a ``close`` (Volcano, plain services) are left alone."""
+        for engine in self.engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
     def _check_uniform_rejection(
         self, query: GeneratedQuery, view: GraphReadView, exc: Exception
     ) -> list[OracleMismatch]:

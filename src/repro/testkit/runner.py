@@ -176,10 +176,7 @@ def run_fuzz(
                     counters["corpus_entries_total"].inc()
         # Pooled engines hold exported shm segments; release them before
         # this graph's store goes away (other engines have no close()).
-        for engine in oracle.engines.values():
-            close = getattr(engine, "close", None)
-            if close is not None:
-                close()
+        oracle.close()
 
     for s in range(config.stress_runs):
         stress = run_stress(StressConfig(seed=config.seed * 1000 + s))

@@ -54,10 +54,7 @@ def replay(
     finally:
         # Pooled engines hold exported shm segments tied to this
         # throwaway store; the other engines have no close().
-        for engine in oracle.engines.values():
-            close = getattr(engine, "close", None)
-            if close is not None:
-                close()
+        oracle.close()
 
 
 def shrink_failure(

@@ -477,6 +477,8 @@ def _populated_stats() -> ExecStats:
             setattr(stats, name, {f"k{seed}": float(seed)})
         elif isinstance(default, list):
             setattr(stats, name, [(f"op{seed}", float(seed), seed)])
+        elif isinstance(default, str):
+            setattr(stats, name, f"s{seed}")
         elif isinstance(default, float):
             setattr(stats, name, float(seed) + 0.5)
         elif isinstance(default, int):
