@@ -337,6 +337,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             profile=args.profile,
             fault_probability=args.fault_probability,
             stress_runs=args.stress_runs,
+            crash_runs=args.crash_runs,
             verbose=args.verbose,
         )
         report = run_chaos(config)
@@ -494,6 +495,44 @@ def cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Audit a durable database directory (read-only).
+
+    Verifies every checkpoint manifest (per-file SHA-256) and scans every
+    WAL segment for torn or corrupt records, printing the exact byte
+    offset recovery would truncate at.  Exit 0 means a recovery of this
+    directory would proceed with zero data-loss caveats.
+    """
+    import json
+
+    from .durability import fsck
+
+    report = fsck(args.path)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    print(f"fsck {report.path}")
+    for entry in report.checkpoints:
+        print(f"  checkpoint {entry['name']}: {entry['status']}")
+    for entry in report.segments:
+        if "status" in entry:
+            print(f"  segment {entry['name']}: {entry['status']}")
+        elif entry["clean"]:
+            print(
+                f"  segment {entry['name']}: clean, {entry['records']} record(s), "
+                f"last version {entry['last_version']}"
+            )
+        else:
+            print(
+                f"  segment {entry['name']}: TORN at byte {entry['torn_offset']} "
+                f"({entry['torn_reason']}); {entry['records']} valid record(s)"
+            )
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    print("ok" if report.ok else "NOT OK")
+    return 0 if report.ok else 1
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Audit read-query agreement across all engine variants."""
     dataset = generate(args.scale, seed=args.seed)
@@ -620,8 +659,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-site probability an instrumented call fires a transient",
     )
     chaos.add_argument("--stress-runs", type=int, default=2)
+    chaos.add_argument(
+        "--crash-runs", type=int, default=1,
+        help="kill -9 crash-recovery sweeps per seed (0 disables)",
+    )
     chaos.add_argument("--verbose", action="store_true", help="per-site fire counts")
     chaos.set_defaults(fn=cmd_chaos)
+
+    fsck = sub.add_parser(
+        "fsck", help="audit a durable database directory (checkpoints + WAL)"
+    )
+    fsck.add_argument("path", help="database directory created by GES.open")
+    fsck.add_argument("--format", choices=("text", "json"), default="text")
+    fsck.set_defaults(fn=cmd_fsck)
 
     perf = sub.add_parser(
         "perf", help="continuous-performance trajectory: record/compare/report"

@@ -1,0 +1,65 @@
+"""Seeded crash points: where the kill -9 harness murders a child engine.
+
+The durability protocol is proven by dying at its least convenient
+moments.  Each named site below marks one such moment — between the WAL
+append and its fsync, after a checkpoint's temp dir is written but before
+the atomic rename, mid WAL truncation — and the crash-recovery harness
+(:mod:`repro.testkit.crashtest`) arms exactly one ``(site, hit)`` pair in
+a forked child before driving commits through it.  When the armed hit is
+reached the child SIGKILLs itself: no atexit handlers, no flushes, no
+cleanup — the closest a test can get to pulling the power cord.
+
+Disarmed cost is one module-attribute read per site (the fault-injection
+``ACTIVE`` convention from :mod:`repro.resilience.faults`).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+#: Every instrumented crash site, in protocol order.  The harness sweeps
+#: these; keep in sync with the call sites in wal.py / checkpoint.py.
+CRASH_SITES = (
+    "commit.wal_append",          # before the record bytes are written
+    "commit.wal_fsync",           # record written, fsync not yet issued
+    "commit.applied",             # record durable, mutations applied
+    "checkpoint.tmp_written",     # temp snapshot complete, not yet renamed
+    "checkpoint.renamed",         # checkpoint visible, WAL not yet switched
+    "checkpoint.segment_switched",  # new WAL segment live, old not pruned
+    "checkpoint.truncated",       # mid-prune: some old files already gone
+)
+
+#: ``(site, hit_ordinal)`` armed in this process, or None (the default).
+ARMED: tuple[str, int] | None = None
+
+_hits: dict[str, int] = {}
+
+
+def arm(site: str, hit: int = 1) -> None:
+    """Arm *site* to SIGKILL this process on its *hit*-th execution."""
+    global ARMED
+    if site not in CRASH_SITES:
+        raise ValueError(f"unknown crash site {site!r}; known: {CRASH_SITES}")
+    if hit < 1:
+        raise ValueError("hit ordinal must be >= 1")
+    ARMED = (site, hit)
+    _hits.clear()
+
+
+def disarm() -> None:
+    """Clear any armed crash site (the parent-process default)."""
+    global ARMED
+    ARMED = None
+    _hits.clear()
+
+
+def crashpoint(site: str) -> None:
+    """Die here (SIGKILL, no cleanup) if this site+hit is armed."""
+    armed = ARMED
+    if armed is None or armed[0] != site:
+        return
+    count = _hits.get(site, 0) + 1
+    _hits[site] = count
+    if count == armed[1]:
+        os.kill(os.getpid(), signal.SIGKILL)

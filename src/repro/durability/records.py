@@ -1,0 +1,126 @@
+"""Commit-record payloads: a staged transaction as replayable plain data.
+
+The shape deliberately mirrors the testkit update serde
+(:class:`repro.testkit.querygen.UpdateBatch` op dicts): one JSON object
+per commit, listing the staged vertex inserts, property writes, and edge
+mutations in exactly the order :meth:`Transaction.commit` applies them.
+Replay re-applies that order with the record's own commit version, so a
+recovered store is stamp-for-stamp what the original apply produced —
+MVCC visibility included.
+
+Edge endpoints are either concrete refs (``{"ref": [label, row]}``) or
+staged-vertex handles (``{"staged": k}``) resolved against this record's
+own inserts, the same two cases the live commit path resolves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import StorageError
+from ..storage.graph import GraphStore, VertexRef
+
+if TYPE_CHECKING:  # import cycle guard: txn never imports durability
+    from ..txn.transaction import Transaction
+
+#: Payload schema version, stored in every record.
+RECORD_FORMAT = 1
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars to JSON-native types; pass the rest through.
+
+    Float NaN becomes None: every bulk path in the storage layer (snapshot
+    load, datagen) already treats FLOAT64 NaN as null, so the WAL adopts
+    the same convention — otherwise a row's NaN would be null or not-null
+    depending on whether recovery took the checkpoint or the replay path.
+    """
+    item = getattr(value, "item", None)
+    if callable(item):
+        value = item()
+    if isinstance(value, float) and value != value:
+        return None
+    return value
+
+
+def _plain_props(props: dict[str, Any]) -> dict[str, Any]:
+    return {name: _plain(value) for name, value in props.items()}
+
+
+def _endpoint(endpoint: "VertexRef | int") -> dict[str, Any]:
+    if isinstance(endpoint, VertexRef):
+        return {"ref": [endpoint.label, endpoint.row]}
+    return {"staged": int(endpoint)}
+
+
+def commit_payload(txn: "Transaction", version: int) -> dict[str, Any]:
+    """The WAL body for one commit, built *before* mutations apply."""
+    return {
+        "f": RECORD_FORMAT,
+        "v": version,
+        "vertices": [
+            {"label": staged.label, "props": _plain_props(staged.properties)}
+            for staged in txn._new_vertices
+        ],
+        "props": [
+            {
+                "label": write.label,
+                "row": write.row,
+                "name": write.name,
+                "value": _plain(write.value),
+            }
+            for write in txn._property_writes
+        ],
+        "edges": [
+            {
+                "label": edge.edge_label,
+                "src": _endpoint(edge.src),
+                "dst": _endpoint(edge.dst),
+                "props": _plain_props(edge.props),
+                "delete": edge.delete,
+            }
+            for edge in txn._edges
+        ],
+    }
+
+
+def _resolve(endpoint: dict[str, Any], staged_refs: list[VertexRef]) -> VertexRef:
+    if "ref" in endpoint:
+        label, row = endpoint["ref"]
+        return VertexRef(label, int(row))
+    handle = int(endpoint["staged"])
+    try:
+        return staged_refs[handle]
+    except IndexError as exc:
+        raise StorageError(
+            f"WAL record references staged vertex {handle} of {len(staged_refs)}"
+        ) from exc
+
+
+def replay_commit(store: GraphStore, payload: dict[str, Any]) -> int:
+    """Re-apply one commit record to *store* under its recorded version.
+
+    Mirrors the apply phase of :meth:`Transaction.commit` — vertex inserts
+    (stamped), property writes, then edge mutations (stamped) — without
+    locks, overlay pre-images, or re-logging: recovery is single-threaded
+    and there are no readers pinned at older versions."""
+    version = int(payload["v"])
+    staged_refs: list[VertexRef] = []
+    for staged in payload.get("vertices", ()):
+        ref = store.add_vertex(staged["label"], staged["props"])
+        store.table(staged["label"]).mark_created(ref.row, version)
+        staged_refs.append(ref)
+    for write in payload.get("props", ()):
+        store.table(write["label"]).set_property(
+            int(write["row"]), write["name"], write["value"]
+        )
+    for edge in payload.get("edges", ()):
+        src = _resolve(edge["src"], staged_refs)
+        dst = _resolve(edge["dst"], staged_refs)
+        if edge.get("delete"):
+            store.remove_edge(edge["label"], src, dst, version=version)
+        else:
+            store.add_edge(
+                edge["label"], src, dst, edge.get("props") or {}, version=version
+            )
+    return version

@@ -1,0 +1,293 @@
+"""Crash recovery: newest valid checkpoint + longest valid WAL prefix.
+
+``recover`` is the only read path for a durable database directory.  The
+algorithm, in order:
+
+1. Verify the ``GESDB.json`` marker.
+2. Sweep hidden checkpoint temp dirs (strandings from a kill mid-write;
+   never visible to loaders, always safe to delete).
+3. Walk checkpoints newest-first; the first whose manifest verifies
+   end-to-end (per-file SHA-256, epoch match) is loaded.  An invalid
+   newest checkpoint is *not* fatal — retention keeps a fallback.
+4. Replay WAL segments with epoch >= the chosen checkpoint, ascending.
+   Records apply in order under their recorded commit version; records
+   already folded into the checkpoint (version <= current) are skipped.
+   The first torn record stops replay **cleanly**: the segment is
+   truncated to its longest valid prefix, any later segments (written
+   after the tear, now causally disconnected) are set aside as
+   ``.orphan``, and nothing partial is ever applied.
+
+Recovery is deterministic: the same directory bytes always produce the
+same store, and ``fsck`` (read-only) names the exact torn byte offset a
+repair would truncate to.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import StorageError
+from ..obs.events import EVENTS
+from ..obs.metrics import REGISTRY
+from ..storage.graph import GraphStore
+from ..storage.io import load_graph
+from . import wal as wal_mod
+from .checkpoint import (
+    CheckpointInfo,
+    checkpoints_dir,
+    list_checkpoints,
+    read_marker,
+    sweep_temp_dirs,
+    validate_checkpoint,
+    wal_dir,
+    write_checkpoint,
+    write_marker,
+)
+
+
+@dataclass
+class RecoveryResult:
+    """What ``recover`` did: the store plus a full forensic account."""
+
+    store: GraphStore
+    #: Highest commit version present in the recovered store.
+    version: int
+    checkpoint: CheckpointInfo
+    #: WAL records applied during replay.
+    replayed: int = 0
+    #: Records skipped as already folded into the checkpoint (or duplicated).
+    skipped: int = 0
+    #: Segments truncated to their longest valid prefix.
+    repaired: list[str] = field(default_factory=list)
+    #: Segments set aside as ``.orphan`` (written after a mid-log tear).
+    orphaned: list[str] = field(default_factory=list)
+    #: Checkpoint temp dirs swept away.
+    swept: list[str] = field(default_factory=list)
+    #: Checkpoints that failed verification and were skipped over.
+    invalid_checkpoints: list[str] = field(default_factory=list)
+    #: The segment an appender should resume on (may need creating).
+    active_segment: Path | None = None
+
+
+def init_db(path: str | Path, store: GraphStore) -> Path:
+    """Create a durable database directory seeded with *store*.
+
+    Writes the marker, checkpoint ``ckpt-0`` (the initial state — commits
+    recorded later always have version >= 1), and WAL segment
+    ``wal-0``.  Refuses to initialise over an existing database.
+    """
+    db = Path(path)
+    if db.exists() and (db / "GESDB.json").exists():
+        raise StorageError(f"{db} is already a GES database")
+    db.mkdir(parents=True, exist_ok=True)
+    write_marker(db)
+    write_checkpoint(store, db, epoch=0)
+    wals = wal_dir(db)
+    wals.mkdir(parents=True, exist_ok=True)
+    wal_mod.create_segment(wals, epoch=0)
+    EVENTS.emit("db_initialised", path=str(db))
+    return db
+
+
+def _choose_checkpoint(
+    db: Path, invalid: list[str]
+) -> CheckpointInfo:
+    infos = list_checkpoints(db)
+    if not infos:
+        raise StorageError(f"no checkpoints under {checkpoints_dir(db)}")
+    for info in reversed(infos):
+        try:
+            validate_checkpoint(info)
+        except StorageError as exc:
+            invalid.append(info.path.name)
+            EVENTS.emit(
+                "checkpoint_invalid", name=info.path.name, error=str(exc)
+            )
+            continue
+        return info
+    raise StorageError(
+        f"no valid checkpoint under {checkpoints_dir(db)}: "
+        f"all of {[i.path.name for i in infos]} failed verification"
+    )
+
+
+def recover(path: str | Path, repair: bool = True) -> RecoveryResult:
+    """Rebuild the store from *path* (see module docstring for protocol).
+
+    With ``repair=False`` torn segments are replayed up to their valid
+    prefix but left byte-for-byte untouched on disk (fsck-style dry run).
+    """
+    from .records import replay_commit
+
+    db = Path(path)
+    read_marker(db)
+    m_replays = REGISTRY.counter(
+        "ges_wal_replays_total", "WAL records replayed during recovery."
+    )
+    m_torn = REGISTRY.counter(
+        "ges_wal_torn_tails_total", "Torn WAL tails detected during recovery."
+    )
+    EVENTS.emit("recovery_started", path=str(db))
+    swept = sweep_temp_dirs(db)
+    invalid: list[str] = []
+    chosen = _choose_checkpoint(db, invalid)
+    store = load_graph(chosen.path)
+    result = RecoveryResult(
+        store=store,
+        version=chosen.epoch,
+        checkpoint=chosen,
+        swept=swept,
+        invalid_checkpoints=invalid,
+    )
+
+    wals = wal_dir(db)
+    all_segments = list(wal_mod.iter_segments(wals))
+    older = [s for s in all_segments if wal_mod.segment_epoch(s) < chosen.epoch]
+    newer = [s for s in all_segments if wal_mod.segment_epoch(s) >= chosen.epoch]
+    # A crash between a checkpoint's rename and its WAL segment switch
+    # leaves post-checkpoint commits in the *previous* epoch's segment, so
+    # the newest older segment replays too; version-based skipping makes
+    # that free when it holds nothing new.
+    segments = older[-1:] + newer
+    for index, segment in enumerate(segments):
+        scan = wal_mod.scan_segment(segment)
+        for record in scan.records:
+            if record.version <= result.version:
+                result.skipped += 1
+                continue
+            replay_commit(store, record.payload)
+            result.version = record.version
+            result.replayed += 1
+            m_replays.inc()
+        result.active_segment = segment
+        if scan.clean:
+            continue
+        # Torn tail: truncate to the valid prefix and stop.  Segments
+        # written after this one postdate the tear and are causally
+        # disconnected from the surviving history — set them aside.
+        m_torn.inc()
+        if repair:
+            wal_mod.repair_segment(scan)
+            for later in segments[index + 1 :]:
+                orphan = later.with_suffix(later.suffix + ".orphan")
+                os.rename(later, orphan)
+                result.orphaned.append(later.name)
+            if result.orphaned:
+                wal_mod.fsync_dir(wals)
+        result.repaired.append(segment.name)
+        break
+    EVENTS.emit(
+        "recovery_complete",
+        path=str(db),
+        checkpoint_epoch=chosen.epoch,
+        version=result.version,
+        replayed=result.replayed,
+        skipped=result.skipped,
+        repaired=result.repaired,
+        orphaned=result.orphaned,
+    )
+    return result
+
+
+# -- fsck ---------------------------------------------------------------------------
+
+
+@dataclass
+class FsckReport:
+    """Read-only integrity audit of a durable database directory."""
+
+    path: str
+    checkpoints: list[dict[str, Any]] = field(default_factory=list)
+    segments: list[dict[str, Any]] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "checkpoints": self.checkpoints,
+            "segments": self.segments,
+            "problems": self.problems,
+        }
+
+
+def fsck(path: str | Path) -> FsckReport:
+    """Audit every checkpoint and WAL segment under *path* — read-only.
+
+    Reports, per checkpoint, whether its manifest verifies; per segment,
+    the record count, last version, and — for torn segments — the exact
+    byte offset and reason a repair would truncate at.  Stray temp dirs
+    and orphaned segments are flagged.  ``report.ok`` is True iff a
+    recovery would proceed with zero data-loss caveats.
+    """
+    db = Path(path)
+    report = FsckReport(path=str(db))
+    try:
+        read_marker(db)
+    except StorageError as exc:
+        report.problems.append(str(exc))
+        return report
+
+    valid_epochs: list[int] = []
+    for info in list_checkpoints(db):
+        entry: dict[str, Any] = {"name": info.path.name, "epoch": info.epoch}
+        try:
+            validate_checkpoint(info)
+            entry["status"] = "ok"
+            valid_epochs.append(info.epoch)
+        except StorageError as exc:
+            entry["status"] = f"invalid: {exc}"
+            report.problems.append(f"checkpoint {info.path.name}: {exc}")
+        report.checkpoints.append(entry)
+    if not valid_epochs:
+        report.problems.append("no valid checkpoint: recovery would fail")
+
+    ckpts = checkpoints_dir(db)
+    if ckpts.is_dir():
+        for member in ckpts.iterdir():
+            if member.is_dir() and member.name.startswith("."):
+                report.problems.append(
+                    f"stray checkpoint temp dir {member.name} (crash leftover)"
+                )
+
+    wals = wal_dir(db)
+    segments = list(wal_mod.iter_segments(wals))
+    for position, segment in enumerate(segments):
+        try:
+            scan = wal_mod.scan_segment(segment)
+        except StorageError as exc:
+            report.segments.append({"name": segment.name, "status": f"unreadable: {exc}"})
+            report.problems.append(f"segment {segment.name}: {exc}")
+            continue
+        entry = {
+            "name": segment.name,
+            "epoch": scan.epoch,
+            "records": len(scan.records),
+            "last_version": scan.last_version,
+            "clean": scan.clean,
+        }
+        if not scan.clean:
+            entry["torn_offset"] = scan.torn_offset
+            entry["torn_reason"] = scan.torn_reason
+            entry["valid_length"] = scan.valid_length
+            severity = "tail" if position == len(segments) - 1 else "mid-log"
+            report.problems.append(
+                f"segment {segment.name}: torn at byte {scan.torn_offset} "
+                f"({scan.torn_reason}, {severity}); "
+                f"recovery keeps the first {len(scan.records)} record(s)"
+            )
+        report.segments.append(entry)
+    if wals.is_dir():
+        for member in sorted(wals.iterdir()):
+            if member.name.endswith(".orphan"):
+                report.problems.append(
+                    f"orphaned segment {member.name} (set aside by a past recovery)"
+                )
+    return report

@@ -45,6 +45,10 @@ class EngineConfig:
     retry_backoff_ms: float = 1.0  # base backoff before the first retry
     retry_seed: int = 0  # seed for deterministic retry jitter
     degrade: bool = True  # graceful degradation ladder (executor fallback, …)
+    # --- durability knobs (repro.durability; off by default — in-memory) ---
+    durability: str | None = None  # None (off) | "fsync" | "batch" WAL mode
+    wal_batch_every: int = 8  # batch mode: fsync every N commit appends
+    checkpoint_keep: int = 2  # checkpoints retained (older ones pruned)
 
     @classmethod
     def ges(

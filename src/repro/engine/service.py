@@ -20,11 +20,13 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
+from pathlib import Path
 from typing import Any, Mapping
 
 from typing import Callable, TypeVar
 
-from ..errors import AdmissionRejected, GesError, QueryTimeout
+from ..errors import AdmissionRejected, GesError, QueryTimeout, StorageError
 from ..exec.base import ExecStats, QueryResult
 from ..obs.clock import now
 from ..obs.events import EVENTS
@@ -125,7 +127,84 @@ class GraphEngineService:
             self.parallel: Any = ParallelCoordinator(self)
         else:
             self.parallel = None
+        #: :class:`repro.durability.DurabilityManager` when this engine is
+        #: backed by a durable directory (see :meth:`open`); None otherwise.
+        self.durability: Any = None
+        #: Forensics of the recovery that produced this engine, when opened
+        #: from an existing database directory.
+        self.recovery: Any = None
         self._init_metrics()
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        config: EngineConfig | None = None,
+        registry: ModuleRegistry | None = None,
+        pool: MemoryPool | None = None,
+        schema: GraphSchema | GraphStore | None = None,
+    ) -> "GraphEngineService":
+        """Open a durable database directory — or create one from *schema*.
+
+        When *path* already holds a database, recovery runs first: the
+        newest checkpoint whose manifest verifies is loaded and the WAL
+        tail replays up to the first torn record (see
+        :mod:`repro.durability.recovery`); the recovered engine exposes
+        the forensic account as ``service.recovery``.  When *path* is
+        fresh, *schema* seeds checkpoint epoch 0.
+
+        Every subsequent :meth:`transaction` commit is WAL-logged before
+        it applies, in ``config.durability`` mode (``"fsync"`` unless set;
+        ``EngineConfig(durability=None)`` still means durable here —
+        opening a database directory *is* opting in).
+        """
+        from ..durability import DurabilityManager, recover
+
+        config = config if config is not None else EngineConfig.ges_f_star()
+        mode = config.durability or "fsync"
+        config = dataclasses.replace(config, durability=mode)
+        db = Path(path)
+        if (db / "GESDB.json").exists():
+            result = recover(db)
+            service = cls(result.store, config=config, registry=registry, pool=pool)
+            service.txn_manager.versions.advance_to(result.version)
+            service.durability = DurabilityManager.attach(
+                db,
+                result,
+                mode=mode,
+                batch_every=config.wal_batch_every,
+                keep=config.checkpoint_keep,
+            )
+            service.recovery = result
+        else:
+            if schema is None:
+                raise StorageError(
+                    f"{db} is not a GES database; pass schema= to create one"
+                )
+            service = cls(schema, config=config, registry=registry, pool=pool)
+            service.durability = DurabilityManager.initialise(
+                db,
+                service.store,
+                mode=mode,
+                batch_every=config.wal_batch_every,
+                keep=config.checkpoint_keep,
+            )
+        service.txn_manager.wal = service.durability
+        return service
+
+    def checkpoint(self) -> Any:
+        """Fold the WAL into a fresh checkpoint at the current version.
+
+        Takes the commit guard, so the snapshot is a transaction boundary:
+        no commit is ever half-in.  Requires a durable engine
+        (:meth:`open`); raises :class:`StorageError` otherwise.
+        """
+        if self.durability is None:
+            raise StorageError("engine has no durability attached; use GES.open")
+        with self.txn_manager._commit_guard:
+            return self.durability.checkpoint(
+                self.store, self.txn_manager.versions.current()
+            )
 
     def _init_metrics(self) -> None:
         """Bind this instance's engine-level instruments (one lookup each,
@@ -595,10 +674,14 @@ class GraphEngineService:
 
         The shared worker pool itself stays warm for other engines; it is
         stopped by :func:`repro.parallel.shutdown_shared_pools` or at
-        interpreter exit.  Safe to call on a non-pooled engine.
+        interpreter exit.  Safe to call on a non-pooled engine.  A durable
+        engine also syncs and closes its WAL writer — after ``close()``
+        returns, every batch-mode commit is on disk.
         """
         if self.parallel is not None:
             self.parallel.close()
+        if self.durability is not None:
+            self.durability.close()
 
     # -- introspection ---------------------------------------------------------------
 
@@ -654,6 +737,11 @@ class GraphEngineService:
                 ),
                 "degrade": self.config.degrade,
             },
+            "durability": (
+                self.durability.describe()
+                if self.durability is not None
+                else {"enabled": False}
+            ),
             "modules": self.registry.describe(),
         }
 

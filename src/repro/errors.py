@@ -20,6 +20,12 @@ class StorageError(GesError):
     """The storage layer was asked to do something impossible (bad id, bad key)."""
 
 
+class WalCorrupt(StorageError):
+    """A write-ahead-log record failed its integrity check (torn tail,
+    checksum mismatch, bad header).  Recovery stops cleanly at the first
+    corrupt record; ``repro fsck`` names the torn byte offset."""
+
+
 class PlanError(GesError):
     """A logical plan is malformed or references unknown attributes."""
 

@@ -21,6 +21,9 @@ site                      choke point
 ``plan_cache.lookup``     :meth:`PlanCache.lookup` — the service degrades to
                           an uncached compile
 ``snapshot.load``         :func:`repro.storage.io.load_graph` entry
+``snapshot.save``         :func:`repro.storage.io.save_graph` entry — before
+                          any byte is written, so a fired fault can never
+                          leave a half-written snapshot behind
 ``executor.operator``     every operator boundary (``OpTimer.__enter__`` and
                           the Volcano dispatch loop)
 ========================  ====================================================
@@ -50,6 +53,7 @@ SITES = (
     "locks.acquire",
     "plan_cache.lookup",
     "snapshot.load",
+    "snapshot.save",
     "executor.operator",
 )
 

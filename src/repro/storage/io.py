@@ -3,9 +3,18 @@
 Layout of a snapshot directory::
 
     snapshot/
+      MANIFEST.json        format version, per-file SHA-256 digests
       schema.json          labels, properties, edge definitions
       vertices_<Label>.npz one array per property column
       edges_<i>.npz        src rows, dst rows, edge-property arrays
+
+Snapshots are written **atomically**: all files land in a hidden sibling
+temp directory (``.<name>.tmp-<pid>``), every file and the directory are
+fsynced, and only then is the directory renamed into place — a crash
+mid-save can never leave a half-written snapshot visible at the target
+path.  The manifest carries a SHA-256 per file, so a torn or mixed
+snapshot (files from two different saves) is rejected at load time with a
+typed :class:`StorageError` instead of being silently loadable.
 
 String columns are stored as object arrays (``allow_pickle``), so
 snapshots are a local persistence/interchange format, not a security
@@ -14,8 +23,12 @@ boundary — load only snapshots you created.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -25,12 +38,16 @@ from ..types import DataType
 from .catalog import EdgeLabelDef, GraphSchema, PropertyDef, VertexLabelDef
 from .graph import GraphStore
 
-#: Version 2 adds per-column validity bitmaps (``__valid__<name>`` members);
-#: version-1 snapshots (sentinel era) still load, with every slot valid.
-_FORMAT_VERSION = 2
-_SUPPORTED_FORMATS = (1, 2)
+#: Version 2 added per-column validity bitmaps (``__valid__<name>``
+#: members); version 3 adds the atomic-write protocol and the per-file
+#: SHA-256 ``MANIFEST.json``.  v1 (sentinel era) and v2 (no manifest)
+#: snapshots still load, with every file trusted as-is.
+_FORMAT_VERSION = 3
+_SUPPORTED_FORMATS = (1, 2, 3)
 
 _VALID_PREFIX = "__valid__"
+
+MANIFEST_NAME = "MANIFEST.json"
 
 
 def _schema_to_dict(schema: GraphSchema) -> dict:
@@ -85,10 +102,123 @@ def _schema_from_dict(data: dict) -> GraphSchema:
     return schema
 
 
-def save_graph(store: GraphStore, path: str | Path) -> Path:
-    """Write a snapshot of *store* under *path* (created if missing)."""
+# -- durability primitives ---------------------------------------------------------
+
+
+def fsync_file(path: Path) -> None:
+    """fsync one file by path (open read-only, sync, close)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so the renames/creates inside it are durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_manifest(path: Path, extra: dict[str, Any] | None = None) -> Path:
+    """Emit ``MANIFEST.json`` covering every regular file under *path*."""
+    files = {
+        member.name: {"sha256": _sha256_file(member), "bytes": member.stat().st_size}
+        for member in sorted(path.iterdir())
+        if member.is_file() and member.name != MANIFEST_NAME
+    }
+    manifest: dict[str, Any] = {"format": _FORMAT_VERSION, "files": files}
+    if extra:
+        manifest.update(extra)
+    target = path / MANIFEST_NAME
+    with open(target, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return target
+
+
+def read_manifest(path: Path) -> dict[str, Any] | None:
+    """The parsed manifest of a snapshot directory, or None when absent
+    (a pre-v3 snapshot).  Malformed manifests raise ``StorageError``."""
+    target = Path(path) / MANIFEST_NAME
+    if not target.exists():
+        return None
+    try:
+        with open(target) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"unreadable snapshot manifest {target}: {exc}") from exc
+    if not isinstance(manifest.get("files"), dict):
+        raise StorageError(f"malformed snapshot manifest {target}: no file table")
+    return manifest
+
+
+def verify_manifest(path: Path) -> dict[str, Any] | None:
+    """Check every file of a snapshot against its manifest.
+
+    Returns the manifest (None for pre-v3 snapshots).  A listed file that
+    is missing, a checksum that does not match, or an unlisted data file
+    (a *mixed* snapshot: files from two different saves) raises
+    :class:`StorageError` naming the offending file.
+    """
     path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
+    manifest = read_manifest(path)
+    if manifest is None:
+        return None
+    listed = manifest["files"]
+    for name, meta in listed.items():
+        member = path / name
+        if not member.exists():
+            raise StorageError(
+                f"torn snapshot {path}: manifest lists missing file {name}"
+            )
+        if _sha256_file(member) != meta.get("sha256"):
+            raise StorageError(
+                f"corrupt snapshot file {member}: SHA-256 mismatch against MANIFEST.json"
+            )
+    for member in path.iterdir():
+        if not member.is_file() or member.name == MANIFEST_NAME:
+            continue
+        if member.suffix == ".npz" or member.name == "schema.json":
+            if member.name not in listed:
+                raise StorageError(
+                    f"mixed snapshot {path}: {member.name} is not listed in MANIFEST.json"
+                )
+    return manifest
+
+
+def _atomic_swap(tmp: Path, path: Path) -> None:
+    """Publish *tmp* at *path* with rename(2); fsync the parent after."""
+    parent = path.parent
+    if path.exists():
+        # A directory rename cannot replace a non-empty directory, so an
+        # existing snapshot is moved aside first and deleted after the new
+        # one is live; the aside dir is hidden so loaders never see it.
+        old = parent / f".{path.name}.old-{os.getpid()}"
+        if old.exists():
+            shutil.rmtree(old)
+        os.rename(path, old)
+        os.rename(tmp, path)
+        fsync_dir(parent)
+        shutil.rmtree(old, ignore_errors=True)
+    else:
+        os.rename(tmp, path)
+        fsync_dir(parent)
+
+
+def _write_snapshot_files(store: GraphStore, path: Path) -> None:
     with open(path / "schema.json", "w") as handle:
         json.dump(_schema_to_dict(store.schema), handle, indent=2)
 
@@ -111,6 +241,40 @@ def save_graph(store: GraphStore, path: str | Path) -> Path:
         for name, mask in validity.items():
             arrays[_VALID_PREFIX + name] = mask
         np.savez(path / f"edges_{i}.npz", **arrays)
+
+
+def save_graph(
+    store: GraphStore, path: str | Path, manifest_extra: dict[str, Any] | None = None
+) -> Path:
+    """Atomically write a snapshot of *store* at *path*.
+
+    The snapshot is assembled in a hidden temp directory next to the
+    target, each file is fsynced, a ``MANIFEST.json`` with per-file
+    SHA-256 digests is emitted, and the directory is renamed into place.
+    On any failure — including an injected ``snapshot.save`` fault — the
+    temp directory is removed and the target path is untouched: either
+    the complete new snapshot is visible, or the previous state is.
+
+    *manifest_extra* adds keys to the manifest (the checkpoint protocol
+    stores its ``epoch`` this way).
+    """
+    faults.maybe_fire("snapshot.save")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    if tmp.exists():  # leftover from a dead process reusing our pid
+        shutil.rmtree(tmp)
+    try:
+        tmp.mkdir()
+        _write_snapshot_files(store, tmp)
+        for member in tmp.iterdir():
+            fsync_file(member)
+        write_manifest(tmp, extra=manifest_extra)
+        fsync_dir(tmp)
+        _atomic_swap(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
     return path
 
 
@@ -133,18 +297,23 @@ def _load_npz(file: Path) -> dict[str, np.ndarray]:
 def load_graph(path: str | Path) -> GraphStore:
     """Rebuild a :class:`GraphStore` from a snapshot directory.
 
-    Every low-level failure mode — missing or malformed ``schema.json``,
-    truncated/corrupt/missing ``.npz`` files, archives missing their
-    required ``__src``/``__dst`` members — is wrapped into a
-    :class:`StorageError` carrying the offending file path, so callers
-    handle one typed error instead of raw ``json``/``numpy``/``OSError``
-    leakage.  Fault site ``snapshot.load`` covers the whole operation.
+    When a ``MANIFEST.json`` is present (format v3) every file is verified
+    against its SHA-256 digest first, so a torn or mixed snapshot is
+    rejected before a single array is deserialized; v1/v2 snapshots (no
+    manifest) still load.  Every low-level failure mode — missing or
+    malformed ``schema.json``, truncated/corrupt/missing ``.npz`` files,
+    archives missing their required ``__src``/``__dst`` members — is
+    wrapped into a :class:`StorageError` carrying the offending file path,
+    so callers handle one typed error instead of raw ``json``/``numpy``/
+    ``OSError`` leakage.  Fault site ``snapshot.load`` covers the whole
+    operation.
     """
     faults.maybe_fire("snapshot.load")
     path = Path(path)
     schema_file = path / "schema.json"
     if not schema_file.exists():
         raise StorageError(f"no snapshot at {path}")
+    manifest = verify_manifest(path)
     try:
         with open(schema_file) as handle:
             raw_schema = json.load(handle)
@@ -156,6 +325,10 @@ def load_graph(path: str | Path) -> GraphStore:
         raise
     except (KeyError, TypeError, ValueError) as exc:
         raise StorageError(f"malformed snapshot schema {schema_file}: {exc}") from exc
+    if raw_schema.get("format", 0) >= 3 and manifest is None:
+        raise StorageError(
+            f"torn snapshot {path}: format 3 requires a MANIFEST.json"
+        )
     store = GraphStore(schema)
 
     for label in schema.vertex_labels:

@@ -22,11 +22,15 @@ Layout:
 * :mod:`~repro.testkit.runner` — the ``repro fuzz`` loop;
 * :mod:`~repro.testkit.chaos` — the ``repro chaos`` fault-injection
   campaign (every injected fault is retried, degraded, or surfaced typed —
-  never a wrong answer, never a raw exception).
+  never a wrong answer, never a raw exception);
+* :mod:`~repro.testkit.crashtest` — the kill -9 crash-recovery harness
+  (fork a durable engine, SIGKILL it at a seeded protocol point, recover,
+  and differentially compare against an acked-prefix reference).
 """
 
 from .chaos import ChaosConfig, ChaosReport, ChaosViolation, run_chaos
 from .corpus import CorpusEntry, load_entries, replay_entry, save_entry
+from .crashtest import CrashConfig, CrashReport, run_crash, run_crash_matrix, store_digest
 from .graphgen import (
     PROFILES,
     GraphProfile,
@@ -49,6 +53,8 @@ __all__ = [
     "ChaosReport",
     "ChaosViolation",
     "CorpusEntry",
+    "CrashConfig",
+    "CrashReport",
     "DifferentialOracle",
     "FuzzConfig",
     "FuzzReport",
@@ -69,11 +75,14 @@ __all__ = [
     "random_graph_spec",
     "replay_entry",
     "run_chaos",
+    "run_crash",
+    "run_crash_matrix",
     "run_fuzz",
     "run_stress",
     "save_entry",
     "serialize_plan",
     "shrink_failure",
     "spec_digest",
+    "store_digest",
     "store_from_spec",
 ]

@@ -67,6 +67,9 @@ class ChaosConfig:
     update_every: int = 4
     #: Seeded concurrency-stress runs folded into the campaign.
     stress_runs: int = 2
+    #: Kill -9 crash-recovery sweeps (each covers every crash site; see
+    #: :mod:`repro.testkit.crashtest`).  0 keeps the campaign fork-free.
+    crash_runs: int = 0
     #: Fresh queries re-checked by the differential oracle afterwards.
     oracle_checks: int = 8
     verbose: bool = False
@@ -76,7 +79,7 @@ class ChaosConfig:
 class ChaosViolation:
     """One broken invariant — a wrong answer or a raw exception."""
 
-    kind: str  # "rows" | "columns" | "raw" | "phantom" | "stress" | "oracle"
+    kind: str  # "rows" | "columns" | "raw" | "phantom" | "stress" | "oracle" | "crash" | "snapshot"
     graph: int
     iteration: int
     query: str
@@ -108,6 +111,10 @@ class ChaosReport:
     update_retries: int = 0
     stress_fault_retries: int = 0
     stress_dropped_batches: int = 0
+    #: Kill -9 crash-recovery runs folded in (and how many actually died).
+    crash_runs: int = 0
+    crash_kills: int = 0
+    snapshot_checks: int = 0
     oracle_queries: int = 0
     elapsed_s: float = 0.0
     violations: list[ChaosViolation] = field(default_factory=list)
@@ -156,6 +163,7 @@ class ChaosReport:
             f"{self.update_retries + self.stress_fault_retries} write retries), "
             f"{self.surfaced} surfaced typed ({surfaced or 'none'}), "
             f"{self.oracle_queries} oracle re-checks, "
+            f"{self.crash_runs} crash runs ({self.crash_kills} kills), "
             f"{len(self.violations)} violations [{self.elapsed_s:.2f}s]"
         )
 
@@ -165,7 +173,9 @@ def _chaos_plan(config: ChaosConfig, graph: int) -> FaultPlan:
     rules = tuple(
         FaultRule(site=site, probability=config.fault_probability)
         for site in SITES
-        if site != "snapshot.load"  # no snapshot loads inside the loop
+        # No snapshot I/O happens inside the loop; those sites get their
+        # own dedicated coverage (snapshot-save check, crash harness).
+        if site not in ("snapshot.load", "snapshot.save")
     )
     return FaultPlan(rules=rules, seed=config.seed * 1_000 + graph)
 
@@ -369,5 +379,89 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                                violation)
             )
 
+    # Snapshot-save atomicity under injected faults: a failed save must
+    # surface typed and leave the target path untouched — no half-written
+    # snapshot, no stray temp dirs — and a clean retry must then succeed.
+    if store is not None:
+        _check_snapshot_save(config, store, report)
+
+    # Kill -9 crash-recovery sweeps: every durability crash site, child
+    # murdered mid-protocol, parent recovers and compares differentially.
+    if config.crash_runs > 0:
+        from .crashtest import CrashConfig, run_crash
+        from ..durability.hooks import CRASH_SITES
+
+        for c in range(config.crash_runs):
+            for site in CRASH_SITES:
+                crash = run_crash(
+                    CrashConfig(
+                        seed=seed * 100 + c,
+                        kill_point=site,
+                        batches=12,
+                        checkpoint_every=4,
+                        profile=config.profile,
+                    )
+                )
+                report.crash_runs += 1
+                if crash.killed:
+                    report.crash_kills += 1
+                for violation in crash.violations:
+                    report.violations.append(
+                        ChaosViolation(
+                            "crash", -1, c, f"kill -9 @ {site}", violation
+                        )
+                    )
+
     report.elapsed_s = now() - started
     return report
+
+
+def _check_snapshot_save(
+    config: ChaosConfig, store, report: ChaosReport
+) -> None:
+    """Injected ``snapshot.save`` failures must never strand bytes."""
+    import tempfile
+    from pathlib import Path
+
+    from ..errors import TransientError
+    from ..storage.io import load_graph, save_graph
+
+    plan = FaultPlan(
+        rules=(FaultRule(site="snapshot.save", probability=1.0, max_fires=1),),
+        seed=config.seed,
+    )
+    report.snapshot_checks += 1
+    with tempfile.TemporaryDirectory(prefix="ges-chaos-snap-") as tdir:
+        target = Path(tdir) / "snap"
+        try:
+            with fault_scope(plan):
+                save_graph(store, target)
+            report.violations.append(
+                ChaosViolation(
+                    "snapshot", -1, 0, "save_graph",
+                    "snapshot.save fault rule (p=1.0) did not fire",
+                )
+            )
+        except TransientError:
+            pass
+        leftovers = sorted(p.name for p in Path(tdir).iterdir())
+        if leftovers:
+            report.violations.append(
+                ChaosViolation(
+                    "snapshot", -1, 0, "save_graph",
+                    f"failed save left bytes behind: {leftovers}",
+                )
+            )
+        # Faults exhausted (max_fires=1): the retry must produce a
+        # complete, loadable snapshot at the same target.
+        try:
+            with fault_scope(plan):
+                save_graph(store, target)
+            load_graph(target)
+        except Exception as exc:  # noqa: BLE001 — the check itself
+            report.violations.append(
+                ChaosViolation(
+                    "snapshot", -1, 0, "save_graph",
+                    f"post-fault retry failed: {type(exc).__name__}: {exc}",
+                )
+            )

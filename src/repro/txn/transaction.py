@@ -15,6 +15,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..durability.hooks import crashpoint
 from ..errors import TransactionAborted, TransactionError
 from ..storage.graph import GraphReadView, GraphStore, VertexRef
 from ..storage.memory_pool import DEFAULT_POOL, MemoryPool
@@ -56,6 +57,11 @@ class TransactionManager:
         self.locks = LockManager()
         self.overlay = SnapshotOverlay(self.pool)
         self._commit_guard = threading.Lock()
+        #: Optional :class:`repro.durability.DurabilityManager`.  When set
+        #: (by the engine service), every commit is WAL-logged *before* its
+        #: mutations apply; when None (the default) commits are in-memory
+        #: only and the write path pays a single attribute check.
+        self.wal = None
 
     def begin(self) -> "Transaction":
         return Transaction(self)
@@ -159,6 +165,10 @@ class Transaction:
         try:
             with manager._commit_guard:
                 commit_version = manager.versions.next_commit()
+                # Write-ahead: the commit record must be durable (or at
+                # least handed to the log) before any mutation applies.
+                if manager.wal is not None:
+                    manager.wal.log_commit(self, commit_version)
                 # Copy-on-write pre-images for every property-modified vertex.
                 touched: set[tuple[str, int]] = {
                     (w.label, w.row) for w in self._property_writes
@@ -184,6 +194,7 @@ class Transaction:
                         store.add_edge(
                             edge.edge_label, src, dst, edge.props, version=commit_version
                         )
+                crashpoint("commit.applied")
             return commit_version
         finally:
             self.manager.locks.release_all(self._held_locks)

@@ -27,3 +27,9 @@ class VersionManager:
         with self._lock:
             self._version += 1
             return self._version
+
+    def advance_to(self, version: int) -> None:
+        """Fast-forward to *version* (WAL replay; never moves backwards)."""
+        with self._lock:
+            if version > self._version:
+                self._version = version

@@ -40,7 +40,7 @@ from repro.resilience import (
 from repro.resilience.retry import RetryStats
 from repro.resilience.watchdog import TICK_STRIDE
 from repro.storage.graph import VertexRef
-from repro.storage.io import load_graph, save_graph
+from repro.storage.io import load_graph, save_graph, write_manifest
 from repro.testkit import ChaosConfig, StressConfig, run_chaos, run_stress
 
 LONG_QUERY = "MATCH (a:Person)-[:KNOWS*1..3]->(b) RETURN id(b)"
@@ -643,7 +643,18 @@ class TestCorruptSnapshots:
         data = dict(np.load(victim, allow_pickle=True))
         data.pop("__src")
         np.savez(victim, **data)
+        # Refresh the manifest so the structural check fires, not the SHA one.
+        write_manifest(path)
         with pytest.raises(StorageError, match="__src"):
+            load_graph(path)
+
+    def test_tampered_file_fails_manifest_verification(self, micro_store, tmp_path):
+        path = save_graph(micro_store, tmp_path / "snap")
+        victim = next(iter(sorted(path.glob("edges_*.npz"))))
+        data = dict(np.load(victim, allow_pickle=True))
+        data.pop("__src")
+        np.savez(victim, **data)
+        with pytest.raises(StorageError, match="SHA-256"):
             load_graph(path)
 
     def test_snapshot_load_fault_site(self, micro_store, tmp_path):
